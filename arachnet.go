@@ -1,0 +1,244 @@
+// Package arachnet is the public API of ArachNet-Go, a reproduction of
+// "Towards an Agentic Workflow for Internet Measurement Research"
+// (HotNets 2025): four specialized agents — QueryMind, WorkflowScout,
+// SolutionWeaver and RegistryCurator — that turn natural-language
+// measurement questions into executable, quality-checked measurement
+// workflows over a curated capability registry.
+//
+// The package also ships every substrate the workflows run on: a
+// seeded synthetic Internet, Nautilus-style submarine-cable
+// cartography, Xaminer-style resilience analysis, a policy-aware BGP
+// simulator, a traceroute campaign engine, and cascade modeling.
+//
+// Quickstart:
+//
+//	sys, err := arachnet.New(arachnet.WithSeed(42))
+//	if err != nil { ... }
+//	report, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+//	if err != nil { ... }
+//	fmt.Println(report.Solution.Code)   // the generated workflow program
+//	fmt.Println(report.Result.Outputs)  // the executed analysis results
+package arachnet
+
+import (
+	"fmt"
+
+	"arachnet/internal/agents/querymind"
+	"arachnet/internal/agents/solutionweaver"
+	"arachnet/internal/agents/workflowscout"
+	"arachnet/internal/core"
+	"arachnet/internal/eval"
+	"arachnet/internal/expert"
+	"arachnet/internal/geo"
+	"arachnet/internal/netsim"
+	"arachnet/internal/registry"
+	"arachnet/internal/xaminer"
+)
+
+// Re-exported core types. Aliases keep the public surface thin while
+// the implementation lives in internal packages.
+type (
+	// System is the assembled four-agent pipeline.
+	System = core.System
+	// Report is the full record of one pipeline run.
+	Report = core.Report
+	// Environment is the simulated measurement environment.
+	Environment = core.Environment
+	// Registry is the capability catalog agents plan over.
+	Registry = registry.Registry
+	// Capability is one registry entry.
+	Capability = registry.Capability
+	// Port is one typed input/output of a capability.
+	Port = registry.Port
+	// Call is the invocation context passed to capability
+	// implementations.
+	Call = registry.Call
+	// DataType names a value format flowing between capabilities.
+	DataType = registry.DataType
+	// Mode selects standard (automated) or expert (review-hook) operation.
+	Mode = core.Mode
+	// ReviewHook inspects artifacts between stages in expert mode.
+	ReviewHook = core.ReviewHook
+	// ScenarioConfig controls forensic-scenario injection.
+	ScenarioConfig = core.ScenarioConfig
+	// ImpactReport is a per-country impact table.
+	ImpactReport = xaminer.ImpactReport
+	// GlobalImpact is a combined multi-event impact view.
+	GlobalImpact = xaminer.GlobalImpact
+	// Verdict is a forensic causation verdict.
+	Verdict = core.Verdict
+	// Timeline is a unified cross-layer cascade timeline.
+	Timeline = core.Timeline
+	// WorldConfig controls synthetic-world generation.
+	WorldConfig = netsim.Config
+	// ImpactSimilarity quantifies agent-vs-expert agreement.
+	ImpactSimilarity = eval.ImpactSimilarity
+	// VerdictAgreement quantifies forensic agreement.
+	VerdictAgreement = eval.VerdictAgreement
+	// CascadeReport bundles the expert cascade outputs.
+	CascadeReport = expert.CascadeReport
+	// ProblemSpec is QueryMind's decomposition artifact (reviewed in
+	// expert mode at StageProblem).
+	ProblemSpec = querymind.ProblemSpec
+	// Design is WorkflowScout's artifact (StageDesign).
+	Design = workflowscout.Design
+	// Solution is SolutionWeaver's artifact (StageSolution).
+	Solution = solutionweaver.Solution
+)
+
+// Operating modes.
+const (
+	Standard = core.Standard
+	Expert   = core.Expert
+)
+
+// Expert-mode stage names.
+const (
+	StageProblem  = core.StageProblem
+	StageDesign   = core.StageDesign
+	StageSolution = core.StageSolution
+	StageResult   = core.StageResult
+)
+
+// options collects construction parameters.
+type options struct {
+	world    netsim.Config
+	scenario *core.ScenarioConfig
+	registry *registry.Registry
+	sysOpts  []core.Option
+}
+
+// Option configures New.
+type Option func(*options)
+
+// WithSeed selects the world seed (full-size world).
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.world = netsim.DefaultConfig(seed) }
+}
+
+// WithSmallWorld uses the compact 12-country world (fast; used by the
+// test suite).
+func WithSmallWorld(seed uint64) Option {
+	return func(o *options) { o.world = netsim.SmallConfig(seed) }
+}
+
+// WithWorldConfig supplies a fully custom world configuration.
+func WithWorldConfig(cfg WorldConfig) Option {
+	return func(o *options) { o.world = cfg }
+}
+
+// WithScenario injects a cable-failure measurement scenario (traceroute
+// archive + BGP stream), enabling temporal and forensic analyses.
+func WithScenario(sc ScenarioConfig) Option {
+	return func(o *options) { o.scenario = &sc }
+}
+
+// WithRegistry overrides the builtin capability catalog (e.g. a
+// Subset for controlled evaluations).
+func WithRegistry(r *Registry) Option {
+	return func(o *options) { o.registry = r }
+}
+
+// WithExpertMode enables expert mode with the given review hook.
+func WithExpertMode(hook ReviewHook) Option {
+	return func(o *options) {
+		o.sysOpts = append(o.sysOpts, core.WithMode(core.Expert), core.WithReviewHook(hook))
+	}
+}
+
+// WithoutCuration disables automatic registry evolution.
+func WithoutCuration() Option {
+	return func(o *options) { o.sysOpts = append(o.sysOpts, core.WithCuration(false)) }
+}
+
+// New assembles a ready-to-ask ArachNet system. Defaults: full-size
+// world with seed 42, builtin registry, standard mode, curation on.
+func New(opts ...Option) (*System, error) {
+	o := &options{world: netsim.DefaultConfig(42)}
+	for _, opt := range opts {
+		opt(o)
+	}
+	env, err := core.NewEnvironment(o.world)
+	if err != nil {
+		return nil, fmt.Errorf("arachnet: %w", err)
+	}
+	if o.scenario != nil {
+		if err := env.InjectCableFailureScenario(*o.scenario); err != nil {
+			return nil, fmt.Errorf("arachnet: %w", err)
+		}
+	}
+	return core.NewSystem(env, o.registry, o.sysOpts...)
+}
+
+// BuiltinRegistry returns the full hand-curated capability catalog.
+func BuiltinRegistry() *Registry { return core.BuiltinRegistry() }
+
+// CS1RegistryNames returns the restricted capability set of the paper's
+// Case Study 1 ("core Nautilus functions only").
+func CS1RegistryNames() []string { return core.CS1RegistryNames() }
+
+// RenderImpact formats an impact report as a table with the top n rows.
+func RenderImpact(rep *ImpactReport, n int) string { return core.RenderImpact(rep, n) }
+
+// Regions recognized in queries.
+const (
+	Europe       = geo.Europe
+	Asia         = geo.Asia
+	NorthAmerica = geo.NorthAmerica
+	SouthAmerica = geo.SouthAmerica
+	Africa       = geo.Africa
+	MiddleEast   = geo.MiddleEast
+	Oceania      = geo.Oceania
+)
+
+// ExpertCableImpact runs the hand-coded specialist solution for cable
+// impact analysis (the paper's Case Study 1 comparator).
+func ExpertCableImpact(sys *System, cableName string) (*ImpactReport, error) {
+	return expert.CableImpact(sys.Environment(), cableName)
+}
+
+// ExpertDisasterImpact runs the specialist multi-disaster workflow
+// (Case Study 2 comparator).
+func ExpertDisasterImpact(sys *System, failProb float64) (GlobalImpact, error) {
+	return expert.DisasterImpact(sys.Environment(), failProb)
+}
+
+// ExpertCascade runs the specialist cascading-failure workflow (Case
+// Study 3 comparator).
+func ExpertCascade(sys *System, regionA, regionB geo.Region) (*CascadeReport, error) {
+	return expert.Cascade(sys.Environment(), regionA, regionB)
+}
+
+// ExpertForensic runs the specialist root-cause investigation (Case
+// Study 4 comparator).
+func ExpertForensic(sys *System) (Verdict, error) {
+	return expert.Forensic(sys.Environment())
+}
+
+// CompareImpact measures agent-vs-expert similarity of impact reports.
+func CompareImpact(agent, exp *ImpactReport) ImpactSimilarity {
+	return eval.CompareImpact(agent, exp)
+}
+
+// CompareVerdicts measures agent-vs-expert forensic agreement.
+func CompareVerdicts(agent, exp Verdict) VerdictAgreement {
+	return eval.CompareVerdicts(agent, exp)
+}
+
+// GlobalToReport adapts a combined multi-event impact for CompareImpact.
+func GlobalToReport(g GlobalImpact) *ImpactReport { return eval.GlobalToReport(g) }
+
+// FunctionalOverlap measures how much of an expert workflow's
+// conceptual transformation set an agent workflow covers.
+func FunctionalOverlap(rep *Report, sys *System, expertSteps []string) float64 {
+	if rep.Design == nil || rep.Design.Chosen == nil {
+		return 0
+	}
+	return eval.FunctionalOverlap(rep.Design.Chosen, sys.Registry(), expertSteps)
+}
+
+// Expert conceptual step sets for the four case studies.
+func ExpertCableImpactSteps() []string    { return expert.CableImpactSteps() }
+func ExpertDisasterImpactSteps() []string { return expert.DisasterImpactSteps() }
+func ExpertCascadeSteps() []string        { return expert.CascadeSteps() }
+func ExpertForensicSteps() []string       { return expert.ForensicSteps() }

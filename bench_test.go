@@ -1,0 +1,173 @@
+package arachnet_test
+
+// Benchmarks regenerating the paper's evaluation artifacts, one per
+// table/figure (see DESIGN.md §3 for the experiment index):
+//
+//	F1   BenchmarkPipeline            — the four-agent pipeline end to end
+//	CS1  BenchmarkCaseStudy1          — expert-replication cable impact
+//	CS2  BenchmarkCaseStudy2          — multi-disaster impact
+//	CS3  BenchmarkCaseStudy3          — Europe–Asia cascade
+//	CS4  BenchmarkCaseStudy4          — forensic root cause
+//	A1   BenchmarkRegistryCompactness — planning over compact vs bloated registries
+//	A3   BenchmarkCuratorMining       — pattern mining + promotion
+//
+// Benchmarks run on the small world so they are stable and fast; the
+// full-world numbers are produced by cmd/arachnet-bench.
+
+import (
+	"fmt"
+	"testing"
+
+	"arachnet"
+)
+
+var benchQueries = map[int]string{
+	1: "Identify the impact at a country level due to SeaMeWe-5 cable failure",
+	2: "Identify the impact of severe earthquakes and hurricanes globally assuming a 10% infra failure probability",
+	3: "Analyze the cascading effects of submarine cable failures between Europe and Asia",
+	4: "A sudden increase in latency was observed from European probes to Asian destinations starting three days ago. Determine if a submarine cable failure caused this, and if so, identify the specific cable.",
+}
+
+func benchSystem(b *testing.B, scenario bool) *arachnet.System {
+	b.Helper()
+	opts := []arachnet.Option{arachnet.WithSmallWorld(7), arachnet.WithoutCuration()}
+	if scenario {
+		opts = append(opts, arachnet.WithScenario(arachnet.ScenarioConfig{Seed: 5}))
+	}
+	sys, err := arachnet.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sys
+}
+
+func benchCase(b *testing.B, n int, scenario bool) {
+	sys := benchSystem(b, scenario)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(benchQueries[n]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipeline measures Figure 1's full pipeline (parse →
+// QueryMind → WorkflowScout → SolutionWeaver → execute).
+func BenchmarkPipeline(b *testing.B) { benchCase(b, 1, false) }
+
+// BenchmarkCaseStudy1 measures the Case Study 1 workflow under the
+// paper's restricted registry (core Nautilus functions only).
+func BenchmarkCaseStudy1(b *testing.B) {
+	sub, err := arachnet.BuiltinRegistry().Subset(arachnet.CS1RegistryNames()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := arachnet.New(
+		arachnet.WithSmallWorld(7), arachnet.WithRegistry(sub), arachnet.WithoutCuration(),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(benchQueries[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCaseStudy2 measures the multi-disaster workflow.
+func BenchmarkCaseStudy2(b *testing.B) { benchCase(b, 2, false) }
+
+// BenchmarkCaseStudy3 measures the cascading-failure workflow
+// (multi-framework integration).
+func BenchmarkCaseStudy3(b *testing.B) { benchCase(b, 3, true) }
+
+// BenchmarkCaseStudy4 measures the forensic investigation.
+func BenchmarkCaseStudy4(b *testing.B) { benchCase(b, 4, true) }
+
+// BenchmarkRegistryCompactness is the A1 ablation: planning cost over
+// the compact builtin registry versus one bloated with irrelevant
+// entries — the paper's rationale for capability-level registries over
+// full codebase exposure.
+func BenchmarkRegistryCompactness(b *testing.B) {
+	for _, size := range []int{0, 100, 400} {
+		b.Run(fmt.Sprintf("extra=%d", size), func(b *testing.B) {
+			reg := arachnet.BuiltinRegistry()
+			for i := 0; i < size; i++ {
+				err := reg.Register(arachnet.Capability{
+					Name:        fmt.Sprintf("bloat%d.filler", i),
+					Framework:   fmt.Sprintf("bloat%d", i%17),
+					Description: "an implementation detail that should never be planned over",
+					Outputs: []arachnet.Port{{
+						Name: "noise",
+						Type: arachnet.DataType(fmt.Sprintf("bloat.t%d", i)),
+					}},
+					Impl: func(c *arachnet.Call) error { return nil },
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			sys, err := arachnet.New(
+				arachnet.WithSmallWorld(7), arachnet.WithRegistry(reg), arachnet.WithoutCuration(),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Ask(benchQueries[1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCuratorMining is the A3 experiment: registry evolution cost
+// across repeated successful runs.
+func BenchmarkCuratorMining(b *testing.B) {
+	sub, err := arachnet.BuiltinRegistry().Subset(arachnet.CS1RegistryNames()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sys, err := arachnet.New(
+			arachnet.WithSmallWorld(7), arachnet.WithRegistry(sub.Clone()),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if _, err := sys.Ask(benchQueries[1]); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-4 cable failure"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGeneratedCode measures SolutionWeaver's code generation in
+// isolation (re-asking with curation off re-runs the whole pipeline;
+// the LoC table itself comes from cmd/arachnet-bench -loc).
+func BenchmarkGeneratedCode(b *testing.B) {
+	sys := benchSystem(b, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := sys.Ask(benchQueries[4])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Solution.LoC == 0 {
+			b.Fatal("no code generated")
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Command arachnet runs the full four-agent pipeline on a
+// natural-language measurement query and prints the artifacts of every
+// stage: decomposition, design, generated code, execution results.
+//
+// Examples:
+//
+//	arachnet -query "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+//	arachnet -world small -scenario -query "Analyze the cascading effects of submarine cable failures between Europe and Asia"
+//	arachnet -registry cs1 -show code -query "..."
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"arachnet"
+)
+
+func main() {
+	var (
+		query    = flag.String("query", "", "natural-language measurement query (required)")
+		seed     = flag.Uint64("seed", 42, "world seed")
+		world    = flag.String("world", "full", "world size: full|small")
+		scenario = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (needed for cascade/forensic queries)")
+		regName  = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
+		show     = flag.String("show", "all", "sections to print: all|plan|design|code|result")
+		trace    = flag.Bool("trace", false, "print per-step execution provenance")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "usage: arachnet -query \"...\" [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	opts := []arachnet.Option{}
+	switch *world {
+	case "full":
+		opts = append(opts, arachnet.WithSeed(*seed))
+	case "small":
+		opts = append(opts, arachnet.WithSmallWorld(*seed))
+	default:
+		fatal(fmt.Errorf("unknown world %q", *world))
+	}
+	if *scenario {
+		opts = append(opts, arachnet.WithScenario(arachnet.ScenarioConfig{Seed: *seed}))
+	}
+	switch *regName {
+	case "full":
+	case "cs1":
+		sub, err := arachnet.BuiltinRegistry().Subset(arachnet.CS1RegistryNames()...)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, arachnet.WithRegistry(sub))
+	default:
+		fatal(fmt.Errorf("unknown registry %q", *regName))
+	}
+
+	sys, err := arachnet.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	rep, err := sys.Ask(*query)
+	if err != nil {
+		fatal(err)
+	}
+
+	want := func(section string) bool { return *show == "all" || *show == section }
+
+	if want("plan") {
+		fmt.Printf("── QueryMind ──────────────────────────────────────────\n")
+		fmt.Printf("intent: %s   complexity: %d   classification: %v\n",
+			rep.Spec.Intent, rep.Problem.Complexity, rep.Problem.Classification)
+		for _, sp := range rep.Problem.SubProblems {
+			opt := ""
+			if sp.Optional {
+				opt = " (optional)"
+			}
+			fmt.Printf("  • %s%s → %s  %s\n", sp.ID, opt, sp.Produces, sp.Goal)
+		}
+		for _, c := range rep.Problem.Constraints {
+			fmt.Printf("  constraint: %s\n", c)
+		}
+		for _, r := range rep.Problem.Risks {
+			fmt.Printf("  risk: %s\n", r)
+		}
+		for _, s := range rep.Problem.SuccessCriteria {
+			fmt.Printf("  success: %s\n", s)
+		}
+	}
+	if want("design") {
+		fmt.Printf("── WorkflowScout ──────────────────────────────────────\n")
+		fmt.Printf("strategy: %s   candidates explored: %d\n", rep.Design.Strategy, rep.Design.Explored)
+		for i, alt := range rep.Design.Alternatives {
+			marker := " "
+			if i == 0 {
+				marker = "✓"
+			}
+			fmt.Printf("  %s score %.1f: %s\n", marker, alt.Score, alt.Rationale)
+		}
+		fmt.Print(rep.Design.Chosen.Describe())
+	}
+	if want("code") {
+		fmt.Printf("── SolutionWeaver (%d LoC, %d checks) ─────────────────\n",
+			rep.Solution.LoC, rep.Solution.ChecksAdded)
+		fmt.Println(rep.Solution.Code)
+	}
+	if want("result") {
+		fmt.Printf("── Execution ──────────────────────────────────────────\n")
+		if *trace {
+			for _, line := range rep.Result.Provenance {
+				fmt.Println("  " + line)
+			}
+		}
+		fmt.Printf("quality score: %.2f\n", rep.Result.QualityScore())
+		for name, v := range rep.Result.Outputs {
+			fmt.Printf("\noutput %q:\n%s\n", name, renderValue(v))
+		}
+		if len(rep.Promotions) > 0 {
+			fmt.Printf("── RegistryCurator ────────────────────────────────────\n")
+			for _, p := range rep.Promotions {
+				fmt.Printf("promoted %s (support %d): %s\n",
+					p.Capability.Name, p.Support, strings.Join(p.Pattern, " → "))
+			}
+		}
+		fmt.Printf("\nelapsed: %v\n", rep.Elapsed)
+	}
+}
+
+func renderValue(v any) string {
+	switch x := v.(type) {
+	case *arachnet.ImpactReport:
+		return arachnet.RenderImpact(x, 15)
+	case arachnet.GlobalImpact:
+		rep := arachnet.GlobalToReport(x)
+		return fmt.Sprintf("events: %v\nexpected links lost: %.1f\n%s",
+			x.Events, x.ExpectedLinksLost, arachnet.RenderImpact(rep, 15))
+	case *arachnet.Timeline:
+		return x.Render()
+	case arachnet.Verdict:
+		return fmt.Sprintf("cable failure is the cause: %v\ncable: %s\nconfidence: %.2f\nevidence: statistical=%.2f infrastructure=%.2f routing=%.2f\n%s",
+			x.CauseIsCableFailure, x.Cable, x.Confidence,
+			x.StatisticalEvidence, x.InfraEvidence, x.RoutingEvidence, x.Explanation)
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arachnet:", err)
+	os.Exit(1)
+}

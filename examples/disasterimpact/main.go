@@ -1,0 +1,43 @@
+// Disaster impact: the paper's Case Study 2. The agent processes every
+// severe earthquake and hurricane scenario under a 10% infrastructure
+// failure probability, and the example verifies that the generated
+// workflow is functionally identical to the hand-written expert one —
+// including the "skilled restraint" of staying inside one framework.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arachnet"
+)
+
+func main() {
+	sys, err := arachnet.New(arachnet.WithSmallWorld(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const query = "Identify the impact of severe earthquakes and hurricanes globally assuming a 10% infra failure probability"
+	rep, err := sys.Ask(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	agent := rep.Result.Outputs["combination"].(arachnet.GlobalImpact)
+	fmt.Printf("agent processed %d disaster scenarios; expected links lost: %.1f\n",
+		len(agent.Events), agent.ExpectedLinksLost)
+	fmt.Println("frameworks used:", rep.Design.Chosen.Frameworks(sys.Registry()))
+
+	// Compare with the specialist solution.
+	expert, err := arachnet.ExpertDisasterImpact(sys, 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim := arachnet.CompareImpact(arachnet.GlobalToReport(agent), arachnet.GlobalToReport(expert))
+	fmt.Printf("agreement with expert workflow: top-K overlap %.2f, recall %.2f, score MAE %.4f\n",
+		sim.TopKJaccard, sim.CountryRecall, sim.ScoreMAE)
+
+	fmt.Println("\nworst-affected countries (expectation under 10% failure):")
+	fmt.Println(arachnet.RenderImpact(arachnet.GlobalToReport(agent), 10))
+}

@@ -1,0 +1,418 @@
+// Package registrycurator implements ArachNet's fourth agent:
+// systematic registry evolution. It mines executed workflows for
+// recurring capability chains, validates them (validation-first: only
+// patterns that recur across successful, high-quality runs are
+// promoted — speculative additions would bloat the registry), and
+// promotes survivors as composite capabilities that future designs can
+// reuse as single steps.
+package registrycurator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
+)
+
+// Observation is one executed workflow with its outcome.
+type Observation struct {
+	Workflow *workflow.Workflow
+	Result   *workflow.Result
+	Err      error
+}
+
+// Succeeded reports whether the observation is usable evidence.
+func (o Observation) Succeeded() bool {
+	return o.Err == nil && o.Workflow != nil && o.Result != nil
+}
+
+// Promotion is one pattern promoted into the registry.
+type Promotion struct {
+	Capability registry.Capability
+	// Pattern is the capability chain the composite encapsulates.
+	Pattern []string
+	// Support is the number of successful workflows exhibiting it.
+	Support int
+	// AvgQuality is the mean quality score across those workflows.
+	AvgQuality float64
+}
+
+// Agent is the RegistryCurator agent.
+type Agent struct {
+	// MinSupport is the minimum number of distinct successful
+	// workflows a pattern must appear in (default 2).
+	MinSupport int
+	// MinQuality is the minimum average quality score (default 0.8).
+	MinQuality float64
+	// MaxChain bounds the pattern length (default 4, minimum 2).
+	MaxChain int
+}
+
+// New returns a curator with default validation thresholds.
+func New() *Agent { return &Agent{MinSupport: 2, MinQuality: 0.8, MaxChain: 4} }
+
+// chainOccurrence is one liftable window inside one workflow.
+type chainOccurrence struct {
+	steps   []workflow.Step
+	quality float64
+}
+
+// Curate mines the history and registers validated composites into
+// reg. It returns the promotions performed. Already-promoted patterns
+// (by composite name) are skipped, so curation is idempotent.
+func (a *Agent) Curate(history []Observation, reg *registry.Registry) ([]Promotion, error) {
+	if a.MinSupport < 2 {
+		a.MinSupport = 2
+	}
+	if a.MinQuality <= 0 {
+		a.MinQuality = 0.8
+	}
+	if a.MaxChain < 2 {
+		a.MaxChain = 4
+	}
+
+	// Gather liftable chains across successful observations.
+	occurrences := map[string][]chainOccurrence{} // pattern key → occurrences
+	perWorkflow := map[string]map[string]bool{}   // pattern key → workflow fingerprints
+	for _, obs := range history {
+		if !obs.Succeeded() {
+			continue
+		}
+		q := obs.Result.QualityScore()
+		wfID := fingerprint(obs.Workflow)
+		for _, chain := range a.liftableChains(obs.Workflow) {
+			key := chainKey(chain)
+			occurrences[key] = append(occurrences[key], chainOccurrence{steps: chain, quality: q})
+			if perWorkflow[key] == nil {
+				perWorkflow[key] = map[string]bool{}
+			}
+			perWorkflow[key][wfID] = true
+		}
+	}
+
+	// Validate and promote. Patterns that end at a sub-problem artifact
+	// (the step's Phase names a real sub-problem, not auto-chained glue)
+	// are semantically complete capabilities and win first; then longer
+	// patterns beat shorter ones.
+	keys := make([]string, 0, len(occurrences))
+	for k := range occurrences {
+		keys = append(keys, k)
+	}
+	meaningful := func(k string) bool {
+		steps := occurrences[k][0].steps
+		phase := steps[len(steps)-1].Phase
+		return phase != "" && phase != "auto"
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		mi, mj := meaningful(keys[i]), meaningful(keys[j])
+		if mi != mj {
+			return mi
+		}
+		li, lj := len(strings.Split(keys[i], "|")), len(strings.Split(keys[j], "|"))
+		if li != lj {
+			return li > lj
+		}
+		return keys[i] < keys[j]
+	})
+
+	var promotions []Promotion
+	covered := map[string]bool{} // capability names already inside a promoted pattern
+	for _, key := range keys {
+		occ := occurrences[key]
+		support := len(perWorkflow[key])
+		if support < a.MinSupport {
+			continue
+		}
+		var q float64
+		for _, o := range occ {
+			q += o.quality
+		}
+		q /= float64(len(occ))
+		if q < a.MinQuality {
+			continue
+		}
+		chain := occ[0].steps
+		// Skip patterns overlapping an already-promoted, longer one.
+		overlap := false
+		for _, s := range chain {
+			if covered[s.Capability] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		cap, err := a.composite(chain, reg)
+		if err != nil {
+			continue // not liftable after all (e.g. capability vanished)
+		}
+		if reg.Has(cap.Name) {
+			// Promoted in an earlier curation pass: keep its chain
+			// covered so sub-patterns don't sneak in behind it.
+			for _, s := range chain {
+				covered[s.Capability] = true
+			}
+			continue
+		}
+		if err := reg.Register(cap); err != nil {
+			return promotions, fmt.Errorf("registrycurator: promote %q: %w", cap.Name, err)
+		}
+		for _, s := range chain {
+			covered[s.Capability] = true
+		}
+		promotions = append(promotions, Promotion{
+			Capability: cap,
+			Pattern:    capNames(chain),
+			Support:    support,
+			AvgQuality: q,
+		})
+	}
+	return promotions, nil
+}
+
+// liftableChains enumerates contiguous step windows (length 2..MaxChain)
+// whose internal dataflow is self-contained: every input of steps after
+// the first is either a literal or a reference into the window.
+func (a *Agent) liftableChains(wf *workflow.Workflow) [][]workflow.Step {
+	var out [][]workflow.Step
+	n := len(wf.Steps)
+	for start := 0; start < n; start++ {
+		for ln := 2; ln <= a.MaxChain && start+ln <= n; ln++ {
+			win := wf.Steps[start : start+ln]
+			if chainIsLiftable(win) {
+				out = append(out, win)
+			}
+		}
+	}
+	return out
+}
+
+func chainIsLiftable(win []workflow.Step) bool {
+	inside := map[string]bool{}
+	for _, s := range win {
+		inside[s.ID] = true
+	}
+	for i, s := range win {
+		for _, b := range s.Inputs {
+			if !b.IsRef() {
+				continue
+			}
+			src := refStep(b.Ref)
+			if i == 0 {
+				// The head's references become the composite's inputs;
+				// they must come from outside (otherwise the window is
+				// mis-rooted).
+				if inside[src] {
+					return false
+				}
+				continue
+			}
+			if !inside[src] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func refStep(ref string) string {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		return ref[:i]
+	}
+	return ref
+}
+
+func capNames(win []workflow.Step) []string {
+	out := make([]string, len(win))
+	for i, s := range win {
+		out[i] = s.Capability
+	}
+	return out
+}
+
+func chainKey(win []workflow.Step) string {
+	return strings.Join(capNames(win), "|")
+}
+
+func fingerprint(wf *workflow.Workflow) string {
+	// Distinct queries over the same capability chain are distinct use
+	// cases — the evidence the validation-first policy wants.
+	return wf.Name + ":" + wf.Query + ":" + strings.Join(wf.CapabilityNames(), "|")
+}
+
+// composite lifts a step chain into a single registered capability. The
+// composite's inputs are the head step's external bindings (reference
+// bindings become required inputs; literals are frozen as defaults that
+// callers may override); its outputs are the tail step's outputs. The
+// implementation replays the chain through a private engine.
+func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (registry.Capability, error) {
+	head := chain[0]
+	tail := chain[len(chain)-1]
+	headCap, err := reg.Get(head.Capability)
+	if err != nil {
+		return registry.Capability{}, err
+	}
+	tailCap, err := reg.Get(tail.Capability)
+	if err != nil {
+		return registry.Capability{}, err
+	}
+
+	var inputs []registry.Port
+	frozen := map[string]any{}
+	for name, b := range head.Inputs {
+		port, ok := headCap.InputPort(name)
+		if !ok {
+			return registry.Capability{}, fmt.Errorf("head port %q missing", name)
+		}
+		if b.IsRef() {
+			inputs = append(inputs, port)
+		} else {
+			frozen[name] = b.Literal
+			opt := port
+			opt.Optional = true
+			opt.Desc = strings.TrimSpace(opt.Desc + " (default from observed runs)")
+			inputs = append(inputs, opt)
+		}
+	}
+	sort.Slice(inputs, func(i, j int) bool { return inputs[i].Name < inputs[j].Name })
+
+	outputs := make([]registry.Port, len(tailCap.Outputs))
+	copy(outputs, tailCap.Outputs)
+
+	// Merge tags; mark composite.
+	tagSet := map[string]bool{}
+	var frameworks []string
+	fwSeen := map[string]bool{}
+	for _, s := range chain {
+		c, err := reg.Get(s.Capability)
+		if err != nil {
+			return registry.Capability{}, err
+		}
+		for _, t := range c.Tags {
+			tagSet[t] = true
+		}
+		if !fwSeen[c.Framework] {
+			fwSeen[c.Framework] = true
+			frameworks = append(frameworks, c.Framework)
+		}
+	}
+	tags := make([]string, 0, len(tagSet)+1)
+	for t := range tagSet {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	tags = append(tags, "composite")
+
+	cost := 0
+	for _, s := range chain {
+		c, _ := reg.Get(s.Capability)
+		cost += c.Cost
+	}
+	if cost > 1 {
+		cost-- // the promoted pattern amortizes integration overhead
+	}
+
+	name := compositeName(chain)
+	verbs := make([]string, len(chain))
+	for i, s := range chain {
+		verbs[i] = s.Capability
+	}
+	desc := fmt.Sprintf("Validated pattern: %s (promoted from %d-step chain observed in successful workflows)",
+		strings.Join(verbs, " → "), len(chain))
+
+	// Snapshot the chain with stable IDs for replay.
+	replay := make([]workflow.Step, len(chain))
+	idMap := map[string]string{}
+	for i, s := range chain {
+		idMap[s.ID] = fmt.Sprintf("c%d", i+1)
+	}
+	for i, s := range chain {
+		ns := workflow.Step{ID: idMap[s.ID], Capability: s.Capability, Inputs: map[string]workflow.Binding{}}
+		for nameIn, b := range s.Inputs {
+			if b.IsRef() {
+				src := refStep(b.Ref)
+				if mapped, ok := idMap[src]; ok {
+					ns.Inputs[nameIn] = workflow.Binding{Ref: mapped + b.Ref[strings.IndexByte(b.Ref, '.'):]}
+				} else if i == 0 {
+					// External reference → will be bound from the call.
+					ns.Inputs[nameIn] = workflow.Binding{Ref: "extern." + nameIn}
+				} else {
+					return registry.Capability{}, fmt.Errorf("non-head external ref %q", b.Ref)
+				}
+			} else {
+				ns.Inputs[nameIn] = b
+			}
+		}
+		replay[i] = ns
+	}
+
+	impl := func(call *registry.Call) error {
+		// Rebuild the chain with the call's inputs spliced into the
+		// head step, then execute through a private engine.
+		steps := make([]workflow.Step, len(replay))
+		for i, s := range replay {
+			ns := workflow.Step{ID: s.ID, Capability: s.Capability, Inputs: map[string]workflow.Binding{}}
+			for nameIn, b := range s.Inputs {
+				if b.IsRef() && strings.HasPrefix(b.Ref, "extern.") {
+					v, ok := call.In[nameIn]
+					if !ok {
+						return fmt.Errorf("composite %s: input %q not bound", name, nameIn)
+					}
+					ns.Inputs[nameIn] = workflow.Lit(v)
+					continue
+				}
+				if !b.IsRef() {
+					// Frozen literal; the caller may override.
+					if v, ok := call.In[nameIn]; ok && i == 0 {
+						ns.Inputs[nameIn] = workflow.Lit(v)
+						continue
+					}
+				}
+				ns.Inputs[nameIn] = b
+			}
+			steps[i] = ns
+		}
+		inner := &workflow.Workflow{Name: "composite:" + name, Steps: steps}
+		res, err := workflow.NewEngine(reg, call.Env).Run(inner)
+		if err != nil {
+			return fmt.Errorf("composite %s: %w", name, err)
+		}
+		lastID := steps[len(steps)-1].ID
+		for _, out := range outputs {
+			call.Out[out.Name] = res.Values[lastID+"."+out.Name]
+		}
+		return nil
+	}
+	_ = frozen
+
+	return registry.Capability{
+		Name:        name,
+		Framework:   "composite",
+		Description: desc,
+		Inputs:      inputs,
+		Outputs:     outputs,
+		Constraints: []string{fmt.Sprintf("spans frameworks: %s", strings.Join(frameworks, ", "))},
+		Tags:        tags,
+		Cost:        cost,
+		Composite:   true,
+		Impl:        impl,
+	}, nil
+}
+
+// compositeName derives a stable, readable name from the chain's head
+// and tail verbs.
+func compositeName(chain []workflow.Step) string {
+	headVerb := verbOf(chain[0].Capability)
+	tailVerb := verbOf(chain[len(chain)-1].Capability)
+	return fmt.Sprintf("composite.%s_to_%s_%d", headVerb, tailVerb, len(chain))
+}
+
+func verbOf(capName string) string {
+	if i := strings.IndexByte(capName, '.'); i >= 0 {
+		return capName[i+1:]
+	}
+	return capName
+}

@@ -1,0 +1,38 @@
+package solutionweaver
+
+import "reflect"
+
+// sliceLen returns the length of a slice/map value, or -1 otherwise.
+func sliceLen(v any) int {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Map, reflect.Array:
+		return rv.Len()
+	case reflect.Pointer:
+		if !rv.IsNil() {
+			return sliceLen(rv.Elem().Interface())
+		}
+	}
+	return -1
+}
+
+// confidenceField looks for a float64 struct field named "Confidence"
+// so quality checks work with any vocabulary type that follows the
+// convention, without this package importing those types.
+func confidenceField(v any) (float64, bool) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() == reflect.Pointer {
+		if rv.IsNil() {
+			return 0, false
+		}
+		rv = rv.Elem()
+	}
+	if rv.Kind() != reflect.Struct {
+		return 0, false
+	}
+	f := rv.FieldByName("Confidence")
+	if !f.IsValid() || f.Kind() != reflect.Float64 {
+		return 0, false
+	}
+	return f.Float(), true
+}

@@ -1,0 +1,416 @@
+// Package workflowscout implements ArachNet's second agent: solution
+// space exploration and workflow design. It converts QueryMind's
+// structured sub-problems into concrete workflow candidates by
+// goal-driven backward chaining over the capability registry, explores
+// alternatives adaptively (simple queries get one direct path, complex
+// queries get a comparison of candidates), scores the trade-offs, and
+// returns the chosen design with its rationale.
+package workflowscout
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"arachnet/internal/agents/querymind"
+	"arachnet/internal/nlq"
+	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
+)
+
+// Candidate is one fully realized workflow with its trade-off scores.
+type Candidate struct {
+	Workflow       *workflow.Workflow
+	StepCount      int
+	FrameworkCount int
+	TotalCost      int
+	Score          float64 // lower is better
+	Rationale      string
+}
+
+// Design is WorkflowScout's output artifact.
+type Design struct {
+	Chosen *workflow.Workflow
+	// Alternatives holds every scored candidate including the chosen
+	// one, best first.
+	Alternatives []Candidate
+	// Explored is the number of candidates generated.
+	Explored int
+	// Strategy is "direct" for simple queries or "exploratory".
+	Strategy string
+}
+
+// Agent is the WorkflowScout agent.
+type Agent struct {
+	// MaxCandidates bounds exploratory search (default 6).
+	MaxCandidates int
+	// DirectThreshold is the complexity below which a single direct
+	// path is designed without exploring alternatives (default 3).
+	DirectThreshold int
+}
+
+// New returns a WorkflowScout with default settings.
+func New() *Agent { return &Agent{MaxCandidates: 6, DirectThreshold: 3} }
+
+// Design converts a problem spec into a workflow design against the
+// registry.
+func (a *Agent) Design(ps *querymind.ProblemSpec, reg *registry.Registry) (*Design, error) {
+	if a.MaxCandidates <= 0 {
+		a.MaxCandidates = 6
+	}
+	if a.DirectThreshold <= 0 {
+		a.DirectThreshold = 3
+	}
+	d := &Design{Strategy: "exploratory"}
+	limit := a.MaxCandidates
+	if ps.Complexity < a.DirectThreshold {
+		d.Strategy = "direct"
+		limit = 1
+	}
+
+	candidates, err := a.enumerate(ps, reg, limit)
+	if err != nil {
+		return nil, err
+	}
+	for i := range candidates {
+		scoreCandidate(&candidates[i], reg, ps)
+	}
+	sort.SliceStable(candidates, func(i, j int) bool { return candidates[i].Score < candidates[j].Score })
+	d.Alternatives = candidates
+	d.Explored = len(candidates)
+	d.Chosen = candidates[0].Workflow
+	return d, nil
+}
+
+// scoreCandidate computes the trade-off score: fewer steps, lower cost
+// and fewer frameworks win, while methodological fit — tag affinity
+// between each sub-problem and the capability realizing it — earns a
+// strong credit. The framework penalty implements the paper's "skilled
+// restraint" (cross-framework integration must buy its way in); the
+// affinity credit prevents a cheaper but methodologically wrong
+// capability from displacing the right one just because the types line
+// up.
+func scoreCandidate(c *Candidate, reg *registry.Registry, ps *querymind.ProblemSpec) {
+	c.StepCount = len(c.Workflow.Steps)
+	c.FrameworkCount = len(c.Workflow.Frameworks(reg))
+	for _, s := range c.Workflow.Steps {
+		if cap, err := reg.Get(s.Capability); err == nil {
+			c.TotalCost += cap.Cost
+		}
+	}
+	spTags := map[string][]string{}
+	for _, sp := range ps.SubProblems {
+		spTags[sp.ID] = sp.Tags
+	}
+	affinity := 0
+	for _, s := range c.Workflow.Steps {
+		tags, ok := spTags[s.Phase]
+		if !ok {
+			continue
+		}
+		cap, err := reg.Get(s.Capability)
+		if err != nil {
+			continue
+		}
+		for _, t := range tags {
+			if cap.HasTag(t) {
+				affinity++
+			}
+		}
+	}
+	c.Score = 2.0*float64(c.StepCount) + 1.0*float64(c.TotalCost) +
+		3.0*float64(c.FrameworkCount-1) - 2.0*float64(affinity)
+	c.Rationale = fmt.Sprintf("%d steps across %d frameworks, total cost %d, methodological affinity %d",
+		c.StepCount, c.FrameworkCount, c.TotalCost, affinity)
+}
+
+// enumerate generates up to limit distinct candidates by varying the
+// capability chosen for each required sub-problem (one variation at a
+// time from the greedy base plan).
+func (a *Agent) enumerate(ps *querymind.ProblemSpec, reg *registry.Registry, limit int) ([]Candidate, error) {
+	base, err := a.plan(ps, reg, nil)
+	if err != nil {
+		return nil, err
+	}
+	candidates := []Candidate{{Workflow: base}}
+	if limit <= 1 {
+		return candidates, nil
+	}
+	seen := map[string]bool{fingerprint(base): true}
+	for _, sp := range ps.Required() {
+		producers := rankedProducers(reg, sp)
+		for _, alt := range producers[1:] {
+			if len(candidates) >= limit {
+				return candidates, nil
+			}
+			wf, err := a.plan(ps, reg, map[string]string{sp.ID: alt.Name})
+			if err != nil {
+				continue // this alternative cannot be realized; skip
+			}
+			fp := fingerprint(wf)
+			if seen[fp] {
+				continue
+			}
+			seen[fp] = true
+			candidates = append(candidates, Candidate{Workflow: wf})
+		}
+	}
+	return candidates, nil
+}
+
+func fingerprint(w *workflow.Workflow) string {
+	return strings.Join(w.CapabilityNames(), "|")
+}
+
+// planner holds the in-progress backward-chaining state.
+type planner struct {
+	reg      *registry.Registry
+	ps       *querymind.ProblemSpec
+	steps    []workflow.Step
+	have     map[registry.DataType]string // type → "step.port" of latest artifact
+	haveBySP map[string][]string          // subproblem → produced refs
+	nextID   int
+	force    map[string]string // subproblem ID → forced capability
+}
+
+// plan builds one workflow, forcing specific capabilities for the given
+// sub-problems when requested.
+func (a *Agent) plan(ps *querymind.ProblemSpec, reg *registry.Registry, force map[string]string) (*workflow.Workflow, error) {
+	p := &planner{
+		reg: reg, ps: ps,
+		have:     map[registry.DataType]string{},
+		haveBySP: map[string][]string{},
+		force:    force,
+	}
+	outputs := map[string]string{}
+	for _, sp := range ps.Required() {
+		ref, err := p.satisfy(sp)
+		if err != nil {
+			return nil, fmt.Errorf("workflowscout: sub-problem %q: %w", sp.ID, err)
+		}
+		outputs[sp.ID] = ref
+	}
+	// Only sink sub-problems (nothing depends on them) become outputs.
+	depended := map[string]bool{}
+	for _, sp := range ps.SubProblems {
+		for _, d := range sp.DependsOn {
+			depended[d] = true
+		}
+	}
+	finalOutputs := map[string]string{}
+	for id, ref := range outputs {
+		if !depended[id] {
+			finalOutputs[id] = ref
+		}
+	}
+	wf := &workflow.Workflow{
+		Name:    "arachnet-" + string(ps.Query.Intent),
+		Query:   ps.Query.Raw,
+		Steps:   p.steps,
+		Outputs: finalOutputs,
+	}
+	if err := wf.Validate(reg); err != nil {
+		return nil, fmt.Errorf("workflowscout: designed workflow invalid: %w", err)
+	}
+	return wf, nil
+}
+
+// satisfy realizes one sub-problem, returning the "step.port" ref of
+// its artifact.
+func (p *planner) satisfy(sp querymind.SubProblem) (string, error) {
+	producers := rankedProducers(p.reg, sp)
+	if forced, ok := p.force[sp.ID]; ok {
+		var only []*registry.Capability
+		for _, c := range producers {
+			if c.Name == forced {
+				only = append(only, c)
+			}
+		}
+		producers = only
+	}
+	if len(producers) == 0 {
+		return "", fmt.Errorf("no capability produces %s", sp.Produces)
+	}
+	var lastErr error
+	for _, cap := range producers {
+		ref, err := p.tryCapability(cap, sp, 0)
+		if err == nil {
+			p.haveBySP[sp.ID] = append(p.haveBySP[sp.ID], ref)
+			return ref, nil
+		}
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+// rankedProducers orders candidate capabilities by tag affinity with
+// the sub-problem (composites get a validated-pattern bonus), then by
+// cost.
+func rankedProducers(reg *registry.Registry, sp querymind.SubProblem) []*registry.Capability {
+	producers := reg.Producing(sp.Produces)
+	type scored struct {
+		cap *registry.Capability
+		aff int
+	}
+	var ss []scored
+	for _, c := range producers {
+		aff := 0
+		for _, t := range sp.Tags {
+			if c.HasTag(t) {
+				aff++
+			}
+		}
+		if c.Composite {
+			// Promoted patterns proved out end-to-end in earlier runs;
+			// prefer them (the registry-evolution payoff).
+			aff += 3
+		}
+		ss = append(ss, scored{cap: c, aff: aff})
+	}
+	sort.SliceStable(ss, func(i, j int) bool {
+		if ss[i].aff != ss[j].aff {
+			return ss[i].aff > ss[j].aff
+		}
+		if ss[i].cap.Cost != ss[j].cap.Cost {
+			return ss[i].cap.Cost < ss[j].cap.Cost
+		}
+		return ss[i].cap.Name < ss[j].cap.Name
+	})
+	out := make([]*registry.Capability, len(ss))
+	for i, s := range ss {
+		out[i] = s.cap
+	}
+	return out
+}
+
+// maxChainDepth bounds backward chaining when an input type has no
+// existing artifact and must be produced by inserting more steps.
+const maxChainDepth = 4
+
+// tryCapability appends the steps needed to invoke cap, recursively
+// producing missing inputs, and returns the ref of the sub-problem's
+// output port. On failure the planner state is rolled back.
+func (p *planner) tryCapability(cap *registry.Capability, sp querymind.SubProblem, depth int) (string, error) {
+	if depth > maxChainDepth {
+		return "", fmt.Errorf("chaining depth exceeded at %s", cap.Name)
+	}
+	savedSteps := len(p.steps)
+	savedHave := cloneHave(p.have)
+
+	bindings := map[string]workflow.Binding{}
+	for _, in := range cap.Inputs {
+		// 1. Reuse an artifact already produced.
+		if ref, ok := p.have[in.Type]; ok {
+			bindings[in.Name] = workflow.Binding{Ref: ref}
+			continue
+		}
+		// 2. Bind a literal from the query context.
+		if lit, ok := p.literalFor(in); ok {
+			bindings[in.Name] = workflow.Lit(lit)
+			continue
+		}
+		if in.Optional {
+			continue
+		}
+		// 3. Backward-chain: insert a producer for the missing type.
+		ref, err := p.produceType(in.Type, depth+1)
+		if err != nil {
+			p.steps = p.steps[:savedSteps]
+			p.have = savedHave
+			return "", fmt.Errorf("input %q (%s) of %s: %w", in.Name, in.Type, cap.Name, err)
+		}
+		bindings[in.Name] = workflow.Binding{Ref: ref}
+	}
+
+	id := p.addStep(cap, bindings, sp.ID)
+	var outRef string
+	for _, out := range cap.Outputs {
+		ref := id + "." + out.Name
+		p.have[out.Type] = ref
+		if out.Type == sp.Produces {
+			outRef = ref
+		}
+	}
+	if outRef == "" {
+		p.steps = p.steps[:savedSteps]
+		p.have = savedHave
+		return "", fmt.Errorf("%s does not emit %s", cap.Name, sp.Produces)
+	}
+	return outRef, nil
+}
+
+// produceType inserts the cheapest realizable producer chain for a type.
+func (p *planner) produceType(t registry.DataType, depth int) (string, error) {
+	if depth > maxChainDepth {
+		return "", fmt.Errorf("chaining depth exceeded for %s", t)
+	}
+	producers := p.reg.Producing(t)
+	if len(producers) == 0 {
+		return "", fmt.Errorf("no capability produces %s", t)
+	}
+	var lastErr error
+	for _, cap := range producers {
+		ref, err := p.tryCapability(cap, querymind.SubProblem{ID: "auto", Produces: t}, depth)
+		if err == nil {
+			return ref, nil
+		}
+		lastErr = err
+	}
+	return "", lastErr
+}
+
+func (p *planner) addStep(cap *registry.Capability, bindings map[string]workflow.Binding, phase string) string {
+	p.nextID++
+	id := fmt.Sprintf("s%d", p.nextID)
+	p.steps = append(p.steps, workflow.Step{
+		ID: id, Capability: cap.Name, Inputs: bindings, Phase: phase,
+	})
+	return id
+}
+
+func cloneHave(m map[registry.DataType]string) map[registry.DataType]string {
+	out := make(map[registry.DataType]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// literalFor derives a literal binding for an input port from the
+// query specification — the contextual grounding an expert applies when
+// wiring tools ("the cable the user named", "the stated probability").
+func (p *planner) literalFor(in registry.Port) (any, bool) {
+	q := p.ps.Query
+	switch in.Type {
+	case registry.TString:
+		switch in.Name {
+		case "name":
+			if len(q.Cables) > 0 {
+				return string(q.Cables[0]), true
+			}
+		case "region_a":
+			if len(q.Regions) > 0 {
+				return string(q.Regions[0]), true
+			}
+		case "region_b":
+			if len(q.Regions) > 1 {
+				return string(q.Regions[1]), true
+			}
+		}
+	case registry.TFloat:
+		switch in.Name {
+		case "fail_prob":
+			if q.FailProb > 0 {
+				return q.FailProb, true
+			}
+			if q.Intent == nlq.IntentDisasterImpact {
+				return 0.1, true // QueryMind's documented default
+			}
+		}
+	case registry.TStringList:
+		if in.Name == "types" && len(q.Disasters) > 0 {
+			return append([]string(nil), q.Disasters...), true
+		}
+	}
+	return nil, false
+}

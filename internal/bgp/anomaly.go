@@ -1,0 +1,123 @@
+package bgp
+
+import (
+	"sort"
+	"time"
+
+	"arachnet/internal/stats"
+)
+
+// Burst is one detected update-rate anomaly: a time bin whose message
+// count is a robust outlier against the preceding baseline.
+type Burst struct {
+	Start         time.Time
+	Duration      time.Duration
+	Messages      int
+	Withdrawals   int
+	Score         float64 // robust z-score vs baseline bins
+	TopPrefixes   []string
+	WithdrawHeavy bool // withdrawals dominate: outage signature
+}
+
+// DetectBursts bins a time-ordered message stream and flags bins whose
+// volume deviates from the median bin volume by at least threshold
+// robust standard deviations. It needs at least minBaselineBins bins of
+// history before flagging anything.
+func DetectBursts(msgs []Message, bin time.Duration, threshold float64) []Burst {
+	const minBaselineBins = 6
+	if len(msgs) == 0 || bin <= 0 {
+		return nil
+	}
+	start := msgs[0].Time.Truncate(bin)
+	end := msgs[len(msgs)-1].Time
+	nBins := int(end.Sub(start)/bin) + 1
+	if nBins < minBaselineBins+1 {
+		return nil
+	}
+	counts := make([]float64, nBins)
+	withdrawals := make([]int, nBins)
+	prefixCount := make([]map[string]int, nBins)
+	for _, m := range msgs {
+		i := int(m.Time.Sub(start) / bin)
+		if i < 0 || i >= nBins {
+			continue
+		}
+		counts[i]++
+		if m.Type == Withdraw {
+			withdrawals[i]++
+		}
+		if prefixCount[i] == nil {
+			prefixCount[i] = make(map[string]int)
+		}
+		prefixCount[i][m.Prefix.String()]++
+	}
+
+	var out []Burst
+	for i := minBaselineBins; i < nBins; i++ {
+		base, err := stats.FitBaseline(counts[:i])
+		if err != nil {
+			continue
+		}
+		score := base.Score(counts[i])
+		if score < threshold {
+			continue
+		}
+		b := Burst{
+			Start:       start.Add(time.Duration(i) * bin),
+			Duration:    bin,
+			Messages:    int(counts[i]),
+			Withdrawals: withdrawals[i],
+			Score:       score,
+			TopPrefixes: topKeys(prefixCount[i], 5),
+		}
+		b.WithdrawHeavy = withdrawals[i]*2 > int(counts[i])
+		out = append(out, b)
+	}
+	return out
+}
+
+func topKeys(m map[string]int, k int) []string {
+	type kv struct {
+		key string
+		n   int
+	}
+	kvs := make([]kv, 0, len(m))
+	for key, n := range m {
+		kvs = append(kvs, kv{key, n})
+	}
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].n != kvs[j].n {
+			return kvs[i].n > kvs[j].n
+		}
+		return kvs[i].key < kvs[j].key
+	})
+	if len(kvs) > k {
+		kvs = kvs[:k]
+	}
+	out := make([]string, len(kvs))
+	for i, e := range kvs {
+		out[i] = e.key
+	}
+	return out
+}
+
+// CorrelateWindow reports how strongly the update stream concentrates
+// inside [from, to): the fraction of all withdrawals that fall in the
+// window, a temporal-correlation score in [0,1] used as routing-layer
+// evidence by forensic workflows.
+func CorrelateWindow(msgs []Message, from, to time.Time) float64 {
+	var inWin, total float64
+	for _, m := range msgs {
+		if m.Type != Withdraw {
+			continue
+		}
+		total++
+		if !m.Time.Before(from) && m.Time.Before(to) {
+			inWin++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return inWin / total
+}

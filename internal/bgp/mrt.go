@@ -1,0 +1,231 @@
+package bgp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net/netip"
+	"time"
+
+	"arachnet/internal/netsim"
+)
+
+// The dump format is a compact MRT-like binary framing for update
+// messages, so workflows can persist and re-parse "BGP dumps" the way
+// the paper's workflows consume RouteViews files.
+//
+//	file   = magic(4) version(u16) reserved(u16) record*
+//	record = ts(i64, unix-nanos) collector(u32) type(u8)
+//	         addr(4) prefixLen(u8) pathLen(u16) path(u32 * pathLen)
+//
+// All integers are big-endian.
+
+var (
+	dumpMagic = [4]byte{'A', 'M', 'R', 'T'}
+
+	// ErrBadMagic indicates the stream is not a dump file.
+	ErrBadMagic = errors.New("bgp: bad dump magic")
+	// ErrBadVersion indicates an unsupported dump version.
+	ErrBadVersion = errors.New("bgp: unsupported dump version")
+	// ErrCorruptRecord indicates a malformed record.
+	ErrCorruptRecord = errors.New("bgp: corrupt record")
+)
+
+const (
+	dumpVersion = 1
+	// maxPathLen bounds AS-path length in dumps; real paths rarely
+	// exceed a few dozen hops, so anything larger indicates corruption.
+	maxPathLen = 256
+)
+
+// DumpWriter serializes update messages to the dump format.
+type DumpWriter struct {
+	w      *bufio.Writer
+	wrote  int
+	header bool
+}
+
+// NewDumpWriter creates a writer. The header is emitted lazily on the
+// first WriteMessage (or explicitly via Flush on an empty dump).
+func NewDumpWriter(w io.Writer) *DumpWriter {
+	return &DumpWriter{w: bufio.NewWriter(w)}
+}
+
+func (dw *DumpWriter) writeHeader() error {
+	if dw.header {
+		return nil
+	}
+	if _, err := dw.w.Write(dumpMagic[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint16(buf[0:2], dumpVersion)
+	binary.BigEndian.PutUint16(buf[2:4], 0)
+	if _, err := dw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	dw.header = true
+	return nil
+}
+
+// WriteMessage appends one message to the dump.
+func (dw *DumpWriter) WriteMessage(m Message) error {
+	if err := dw.writeHeader(); err != nil {
+		return err
+	}
+	if !m.Prefix.Addr().Is4() {
+		return fmt.Errorf("bgp: dump supports IPv4 prefixes only, got %v", m.Prefix)
+	}
+	if len(m.Path) > maxPathLen {
+		return fmt.Errorf("bgp: path too long (%d)", len(m.Path))
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(m.Time.UnixNano()))
+	if _, err := dw.w.Write(buf[:]); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(m.Collector))
+	if _, err := dw.w.Write(buf[:4]); err != nil {
+		return err
+	}
+	if err := dw.w.WriteByte(byte(m.Type)); err != nil {
+		return err
+	}
+	a4 := m.Prefix.Addr().As4()
+	if _, err := dw.w.Write(a4[:]); err != nil {
+		return err
+	}
+	if err := dw.w.WriteByte(byte(m.Prefix.Bits())); err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint16(buf[:2], uint16(len(m.Path)))
+	if _, err := dw.w.Write(buf[:2]); err != nil {
+		return err
+	}
+	for _, asn := range m.Path {
+		binary.BigEndian.PutUint32(buf[:4], uint32(asn))
+		if _, err := dw.w.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	dw.wrote++
+	return nil
+}
+
+// Flush writes any buffered data (and the header, for empty dumps).
+func (dw *DumpWriter) Flush() error {
+	if err := dw.writeHeader(); err != nil {
+		return err
+	}
+	return dw.w.Flush()
+}
+
+// Count returns the number of messages written so far.
+func (dw *DumpWriter) Count() int { return dw.wrote }
+
+// WriteDump serializes a whole message slice in one call.
+func WriteDump(w io.Writer, msgs []Message) error {
+	dw := NewDumpWriter(w)
+	for _, m := range msgs {
+		if err := dw.WriteMessage(m); err != nil {
+			return err
+		}
+	}
+	return dw.Flush()
+}
+
+// DumpReader parses the dump format incrementally.
+type DumpReader struct {
+	r      *bufio.Reader
+	header bool
+}
+
+// NewDumpReader creates a reader over a dump stream.
+func NewDumpReader(r io.Reader) *DumpReader {
+	return &DumpReader{r: bufio.NewReader(r)}
+}
+
+func (dr *DumpReader) readHeader() error {
+	if dr.header {
+		return nil
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(dr.r, buf[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: truncated header", ErrBadMagic)
+		}
+		return err
+	}
+	if [4]byte(buf[0:4]) != dumpMagic {
+		return ErrBadMagic
+	}
+	if v := binary.BigEndian.Uint16(buf[4:6]); v != dumpVersion {
+		return fmt.Errorf("%w: %d", ErrBadVersion, v)
+	}
+	dr.header = true
+	return nil
+}
+
+// Next returns the next message, or io.EOF at clean end of stream.
+func (dr *DumpReader) Next() (Message, error) {
+	if err := dr.readHeader(); err != nil {
+		return Message{}, err
+	}
+	var fixed [20]byte // ts(8) collector(4) type(1) addr(4) plen(1) pathlen(2)
+	if _, err := io.ReadFull(dr.r, fixed[:8]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("%w: truncated timestamp", ErrCorruptRecord)
+	}
+	if _, err := io.ReadFull(dr.r, fixed[8:20]); err != nil {
+		return Message{}, fmt.Errorf("%w: truncated record body", ErrCorruptRecord)
+	}
+	m := Message{
+		Time:      time.Unix(0, int64(binary.BigEndian.Uint64(fixed[0:8]))).UTC(),
+		Collector: netsim.ASN(binary.BigEndian.Uint32(fixed[8:12])),
+		Type:      MessageType(fixed[12]),
+	}
+	if m.Type != Announce && m.Type != Withdraw {
+		return Message{}, fmt.Errorf("%w: bad type %d", ErrCorruptRecord, fixed[12])
+	}
+	addr := netip.AddrFrom4([4]byte(fixed[13:17]))
+	bits := int(fixed[17])
+	if bits > 32 {
+		return Message{}, fmt.Errorf("%w: bad prefix length %d", ErrCorruptRecord, bits)
+	}
+	m.Prefix = netip.PrefixFrom(addr, bits)
+	pathLen := int(binary.BigEndian.Uint16(fixed[18:20]))
+	if pathLen > maxPathLen {
+		return Message{}, fmt.Errorf("%w: path length %d", ErrCorruptRecord, pathLen)
+	}
+	if pathLen > 0 {
+		raw := make([]byte, 4*pathLen)
+		if _, err := io.ReadFull(dr.r, raw); err != nil {
+			return Message{}, fmt.Errorf("%w: truncated path", ErrCorruptRecord)
+		}
+		m.Path = make([]netsim.ASN, pathLen)
+		for i := 0; i < pathLen; i++ {
+			m.Path[i] = netsim.ASN(binary.BigEndian.Uint32(raw[4*i:]))
+		}
+	}
+	return m, nil
+}
+
+// ReadDump parses a whole dump into memory.
+func ReadDump(r io.Reader) ([]Message, error) {
+	dr := NewDumpReader(r)
+	var out []Message
+	for {
+		m, err := dr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"arachnet/internal/bgp"
+	"arachnet/internal/geo"
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+	"arachnet/internal/traceroute"
+	"arachnet/internal/xaminer"
+)
+
+// defaultNow is the fixed "wall clock" of the simulation, so every run
+// is reproducible.
+var defaultNow = time.Date(2025, 6, 15, 12, 0, 0, 0, time.UTC)
+
+// NewEnvironment generates a world from the config, runs the Nautilus
+// cross-layer mapping, and prepares the Xaminer analyzer. No scenario
+// data is injected; call InjectCableFailureScenario for temporal and
+// forensic analyses.
+func NewEnvironment(cfg netsim.Config) (*Environment, error) {
+	w, err := netsim.Generate(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: generate world: %w", err)
+	}
+	cat := nautilus.BuildCatalog()
+	m, err := nautilus.MapWorld(w, cat)
+	if err != nil {
+		return nil, fmt.Errorf("core: cross-layer mapping: %w", err)
+	}
+	an, err := xaminer.NewAnalyzer(w, cat, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyzer: %w", err)
+	}
+	return &Environment{World: w, Catalog: cat, CrossMap: m, Analyzer: an, Now: defaultNow}, nil
+}
+
+// ScenarioConfig controls forensic-scenario injection.
+type ScenarioConfig struct {
+	// Cable to fail; empty picks the busiest Europe–Asia cable.
+	Cable nautilus.CableID
+	// DaysBeforeNow places the failure (default 3).
+	DaysBeforeNow int
+	// WindowDays is the total archive window ending at Now (default 7).
+	WindowDays int
+	// ProbePairs bounds the number of Europe→Asia probe pairs (default 6).
+	ProbePairs int
+	Seed       uint64
+}
+
+// InjectCableFailureScenario builds the measurement record of a cable
+// failure: a multi-day Europe→Asia traceroute campaign and a BGP update
+// stream, with the cable's links failing DaysBeforeNow days before the
+// environment's Now. The injected ground truth is recorded on the
+// scenario for evaluation but never exposed through the registry.
+func (e *Environment) InjectCableFailureScenario(sc ScenarioConfig) error {
+	if sc.DaysBeforeNow <= 0 {
+		sc.DaysBeforeNow = 3
+	}
+	if sc.WindowDays <= sc.DaysBeforeNow {
+		sc.WindowDays = sc.DaysBeforeNow + 4
+	}
+	if sc.ProbePairs <= 0 {
+		sc.ProbePairs = 6
+	}
+	cable := sc.Cable
+	if cable == "" {
+		var best nautilus.CableID
+		bestN := -1
+		for _, c := range e.Catalog.Between("Europe", "Asia") {
+			if n := len(e.CrossMap.LinksOn(c.ID)); n > bestN {
+				best, bestN = c.ID, n
+			}
+		}
+		if bestN <= 0 {
+			return fmt.Errorf("core: no Europe-Asia cable carries links in this world")
+		}
+		cable = best
+	}
+	links := e.CrossMap.LinksOn(cable)
+	if len(links) == 0 {
+		return fmt.Errorf("core: cable %q carries no links; scenario would be vacuous", cable)
+	}
+
+	start := e.Now.Add(-time.Duration(sc.WindowDays) * 24 * time.Hour)
+	failAt := e.Now.Add(-time.Duration(sc.DaysBeforeNow) * 24 * time.Hour)
+
+	probes, err := e.europeAsiaProbes(sc.ProbePairs, links)
+	if err != nil {
+		return err
+	}
+	event := bgp.FailureEvent{At: failAt, Links: links, Label: "cable:" + string(cable)}
+	arch, err := traceroute.RunCampaign(e.World, traceroute.Campaign{
+		Probes:   probes,
+		Start:    start,
+		End:      e.Now,
+		Interval: time.Hour,
+		Events:   []bgp.FailureEvent{event},
+		Seed:     sc.Seed ^ 0x5bd1e995,
+	})
+	if err != nil {
+		return fmt.Errorf("core: campaign: %w", err)
+	}
+	collectors := e.collectorASes(3)
+	stream, err := bgp.GenerateStream(e.World, []bgp.FailureEvent{event}, bgp.StreamConfig{
+		Start: start, End: e.Now, Collectors: collectors,
+		NoisePerHour: 6, Seed: sc.Seed ^ 0x9e3779b9,
+	})
+	if err != nil {
+		return fmt.Errorf("core: stream: %w", err)
+	}
+	e.Scenario = &Scenario{
+		Start: start, End: e.Now, FailureAt: failAt,
+		TrueCable: cable, FailedLink: links,
+		Archive: arch, Stream: stream,
+	}
+	return nil
+}
+
+// europeAsiaProbes builds probe pairs from European stub routers to
+// Asian stub destinations. Pairs whose routing survives the failure
+// with a changed path are preferred — those are the vantage points that
+// observe the paper's "sudden increase in latency" rather than a
+// blackout — followed by pairs that go dark, then unaffected pairs.
+func (e *Environment) europeAsiaProbes(n int, failedLinks []netsim.LinkID) ([]traceroute.Probe, error) {
+	var srcs []netsim.Router
+	var dsts []netsim.Router
+	for _, a := range e.World.ASes {
+		if a.Tier != netsim.Stub {
+			continue
+		}
+		r, ok := e.World.RouterIn(a.ASN, a.Home)
+		if !ok {
+			continue
+		}
+		switch region(a.Home) {
+		case "Europe":
+			srcs = append(srcs, r)
+		case "Asia":
+			dsts = append(dsts, r)
+		}
+	}
+	if len(srcs) == 0 || len(dsts) == 0 {
+		return nil, fmt.Errorf("core: world lacks European or Asian stubs for probing")
+	}
+	sort.Slice(srcs, func(i, j int) bool { return srcs[i].ID < srcs[j].ID })
+	sort.Slice(dsts, func(i, j int) bool { return dsts[i].ID < dsts[j].ID })
+
+	failSet := map[netsim.LinkID]bool{}
+	for _, id := range failedLinks {
+		failSet[id] = true
+	}
+	before := bgp.ComputeTable(e.World, nil)
+	after := bgp.ComputeTable(e.World, failSet)
+	prober := traceroute.NewProber(e.World)
+
+	type rankedProbe struct {
+		probe   traceroute.Probe
+		deltaMs float64
+	}
+	// Bound the candidate grid so scenario injection stays fast on the
+	// full world.
+	const maxSide = 14
+	if len(srcs) > maxSide {
+		srcs = srcs[:maxSide]
+	}
+	if len(dsts) > maxSide {
+		dsts = dsts[:maxSide]
+	}
+
+	var shifted []rankedProbe
+	var lost, stable []traceroute.Probe
+	for si, s := range srcs {
+		for di, d := range dsts {
+			p := traceroute.Probe{
+				Name: fmt.Sprintf("%s-%s-%d", s.Country, d.Country, si*len(dsts)+di),
+				Src:  s.ID,
+				Dst:  d.Addr,
+			}
+			// Cable failures usually reroute below the AS level (a
+			// different exit link or a backbone detour), so classify by
+			// tracing the actual data path, not by comparing AS paths.
+			pb, err1 := prober.Trace(before, nil, s.ID, d.Addr, 1)
+			pa, err2 := prober.Trace(after, failSet, s.ID, d.Addr, 1)
+			switch {
+			case err1 != nil || err2 != nil || !pb.Reached:
+				stable = append(stable, p)
+			case !pa.Reached:
+				lost = append(lost, p)
+			default:
+				shifted = append(shifted, rankedProbe{probe: p, deltaMs: pa.RTTms - pb.RTTms})
+			}
+		}
+	}
+	// Largest latency increases first; they anchor the detection.
+	sort.SliceStable(shifted, func(i, j int) bool { return shifted[i].deltaMs > shifted[j].deltaMs })
+	var probes []traceroute.Probe
+	for _, rp := range shifted {
+		if rp.deltaMs > 2.0 {
+			probes = append(probes, rp.probe)
+		}
+	}
+	probes = append(probes, lost...)
+	for _, rp := range shifted {
+		if rp.deltaMs <= 2.0 {
+			probes = append(probes, rp.probe)
+		}
+	}
+	probes = append(probes, stable...)
+	if len(probes) > n {
+		probes = probes[:n]
+	}
+	return probes, nil
+}
+
+func region(code string) string {
+	r, ok := geo.RegionOf(code)
+	if !ok {
+		return ""
+	}
+	return string(r)
+}
+
+// collectorASes picks the first n tier-1 ASes as BGP collectors.
+func (e *Environment) collectorASes(n int) []netsim.ASN {
+	var out []netsim.ASN
+	for _, a := range e.World.ASes {
+		if a.Tier == netsim.Tier1 {
+			out = append(out, a.ASN)
+			if len(out) == n {
+				break
+			}
+		}
+	}
+	if len(out) == 0 && len(e.World.ASes) > 0 {
+		out = append(out, e.World.ASes[0].ASN)
+	}
+	return out
+}

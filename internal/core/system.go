@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"arachnet/internal/agents/querymind"
+	"arachnet/internal/agents/registrycurator"
+	"arachnet/internal/agents/solutionweaver"
+	"arachnet/internal/agents/workflowscout"
+	"arachnet/internal/nlq"
+	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
+)
+
+// Mode selects between fully automated operation and expert-in-the-loop
+// review.
+type Mode int
+
+// Operating modes.
+const (
+	Standard Mode = iota // fully automated
+	Expert               // review hooks fire between agents
+)
+
+// Stage names passed to expert-mode review hooks, in pipeline order.
+const (
+	StageProblem  = "querymind"
+	StageDesign   = "workflowscout"
+	StageSolution = "solutionweaver"
+	StageResult   = "execution"
+)
+
+// ReviewHook inspects (and may veto) the artifact leaving each stage in
+// expert mode. Returning an error aborts the pipeline.
+type ReviewHook func(stage string, artifact any) error
+
+// Option configures a System.
+type Option func(*System)
+
+// WithMode sets the operating mode.
+func WithMode(m Mode) Option { return func(s *System) { s.mode = m } }
+
+// WithReviewHook installs the expert-mode review hook.
+func WithReviewHook(h ReviewHook) Option { return func(s *System) { s.hook = h } }
+
+// WithCuration toggles automatic post-run registry curation (on by
+// default).
+func WithCuration(on bool) Option { return func(s *System) { s.curate = on } }
+
+// System is the assembled ArachNet pipeline over one environment and
+// registry.
+type System struct {
+	env    *Environment
+	reg    *registry.Registry
+	mode   Mode
+	hook   ReviewHook
+	curate bool
+
+	queryMind  *querymind.Agent
+	scout      *workflowscout.Agent
+	weaver     *solutionweaver.Agent
+	curator    *registrycurator.Agent
+	history    []registrycurator.Observation
+	promotions []registrycurator.Promotion
+}
+
+// NewSystem assembles a pipeline. A nil registry uses the full builtin
+// catalog.
+func NewSystem(env *Environment, reg *registry.Registry, opts ...Option) (*System, error) {
+	if env == nil {
+		return nil, fmt.Errorf("core: nil environment")
+	}
+	if reg == nil {
+		reg = BuiltinRegistry()
+	}
+	s := &System{
+		env: env, reg: reg, curate: true,
+		queryMind: querymind.New(),
+		scout:     workflowscout.New(),
+		weaver:    solutionweaver.New(),
+		curator:   registrycurator.New(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Registry exposes the live registry (it evolves as the curator
+// promotes patterns).
+func (s *System) Registry() *registry.Registry { return s.reg }
+
+// Environment exposes the execution environment.
+func (s *System) Environment() *Environment { return s.env }
+
+// Promotions returns every composite promoted so far.
+func (s *System) Promotions() []registrycurator.Promotion {
+	out := make([]registrycurator.Promotion, len(s.promotions))
+	copy(out, s.promotions)
+	return out
+}
+
+// History returns the executed-workflow observations recorded so far.
+func (s *System) History() []registrycurator.Observation {
+	out := make([]registrycurator.Observation, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Report is the full record of one pipeline run.
+type Report struct {
+	Query    string
+	Spec     nlq.Spec
+	Problem  *querymind.ProblemSpec
+	Design   *workflowscout.Design
+	Solution *solutionweaver.Solution
+	Result   *workflow.Result
+	// Promotions performed by the curator after this run.
+	Promotions []registrycurator.Promotion
+	Elapsed    time.Duration
+}
+
+// Ask runs the full four-agent pipeline on a natural-language query:
+// parse → QueryMind → WorkflowScout → SolutionWeaver → execute →
+// RegistryCurator.
+func (s *System) Ask(query string) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Query: query}
+
+	// Language analysis + problem decomposition (QueryMind).
+	rep.Spec = nlq.Parse(query, s.env.Catalog)
+	data := s.env.Data()
+	problem, err := s.queryMind.Analyze(rep.Spec, querymind.DataAvailability{
+		HasCrossLayerMap: data.HasCrossLayerMap,
+		MapCoverage:      data.MapCoverage,
+		HasTraceArchive:  data.HasTraceArchive,
+		HasBGPStream:     data.HasBGPStream,
+		WindowDays:       data.WindowDays,
+	})
+	if err != nil {
+		return rep, err
+	}
+	rep.Problem = problem
+	if err := s.review(StageProblem, problem); err != nil {
+		return rep, err
+	}
+
+	// Solution space exploration (WorkflowScout).
+	design, err := s.scout.Design(problem, s.reg)
+	if err != nil {
+		return rep, fmt.Errorf("core: design: %w", err)
+	}
+	rep.Design = design
+	if err := s.review(StageDesign, design); err != nil {
+		return rep, err
+	}
+
+	// Implementation (SolutionWeaver).
+	solution, err := s.weaver.Weave(design.Chosen, s.reg)
+	if err != nil {
+		return rep, fmt.Errorf("core: weave: %w", err)
+	}
+	rep.Solution = solution
+	if err := s.review(StageSolution, solution); err != nil {
+		return rep, err
+	}
+
+	// Execution.
+	engine := workflow.NewEngine(s.reg, s.env)
+	result, err := engine.Run(solution.Workflow)
+	rep.Result = result
+	obs := registrycurator.Observation{Workflow: solution.Workflow, Result: result, Err: err}
+	s.history = append(s.history, obs)
+	if err != nil {
+		return rep, fmt.Errorf("core: execute: %w", err)
+	}
+	if err := s.review(StageResult, result); err != nil {
+		return rep, err
+	}
+
+	// Registry evolution (RegistryCurator).
+	if s.curate {
+		promos, err := s.curator.Curate(s.history, s.reg)
+		if err != nil {
+			return rep, fmt.Errorf("core: curate: %w", err)
+		}
+		rep.Promotions = promos
+		s.promotions = append(s.promotions, promos...)
+	}
+
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+func (s *System) review(stage string, artifact any) error {
+	if s.mode != Expert || s.hook == nil {
+		return nil
+	}
+	if err := s.hook(stage, artifact); err != nil {
+		return fmt.Errorf("core: expert review rejected %s: %w", stage, err)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package eval measures equivalence between agent-generated workflows
+// and expert baselines: output similarity (country overlap, rank
+// correlation, score error), verdict agreement, and functional-step
+// overlap — the comparison axes of the paper's case studies.
+package eval
+
+import (
+	"math"
+
+	"arachnet/internal/core"
+	"arachnet/internal/registry"
+	"arachnet/internal/stats"
+	"arachnet/internal/workflow"
+	"arachnet/internal/xaminer"
+)
+
+// ImpactSimilarity quantifies agreement between two country-impact
+// reports.
+type ImpactSimilarity struct {
+	// TopKJaccard is the Jaccard overlap of the top-K impacted
+	// countries (K = min(10, smaller report size)).
+	TopKJaccard float64
+	// Spearman is the rank correlation of country scores over the
+	// union of countries (absent countries score 0).
+	Spearman float64
+	// ScoreMAE is the mean absolute error between per-country scores.
+	ScoreMAE float64
+	// CountryRecall is the fraction of the expert's impacted countries
+	// the agent also reports.
+	CountryRecall float64
+}
+
+// CompareImpact measures agent-vs-expert similarity of impact reports.
+func CompareImpact(agent, expert *xaminer.ImpactReport) ImpactSimilarity {
+	sim := ImpactSimilarity{}
+	if agent == nil || expert == nil {
+		return sim
+	}
+	k := 10
+	if len(agent.Countries) < k {
+		k = len(agent.Countries)
+	}
+	if len(expert.Countries) < k {
+		k = len(expert.Countries)
+	}
+	sim.TopKJaccard = stats.Jaccard(agent.TopCountries(k), expert.TopCountries(k))
+
+	union := map[string]bool{}
+	for _, c := range agent.Countries {
+		union[c.Country] = true
+	}
+	for _, c := range expert.Countries {
+		union[c.Country] = true
+	}
+	var aScores, eScores []float64
+	var mae float64
+	for cc := range union {
+		a := agent.CountryScore(cc)
+		e := expert.CountryScore(cc)
+		aScores = append(aScores, a)
+		eScores = append(eScores, e)
+		mae += math.Abs(a - e)
+	}
+	if len(union) > 0 {
+		mae /= float64(len(union))
+	}
+	sim.ScoreMAE = mae
+	if len(aScores) >= 2 {
+		if rho, err := stats.Spearman(aScores, eScores); err == nil {
+			sim.Spearman = rho
+		}
+	}
+	var hit, total float64
+	for _, c := range expert.Countries {
+		if c.Score <= 0 {
+			continue
+		}
+		total++
+		if agent.CountryScore(c.Country) > 0 {
+			hit++
+		}
+	}
+	if total > 0 {
+		sim.CountryRecall = hit / total
+	}
+	return sim
+}
+
+// FunctionalOverlap measures how much of the expert's conceptual
+// transformation set the agent workflow covers. The agent's functional
+// categories are the tags of the capabilities it invokes; the expert
+// declares its categories explicitly.
+func FunctionalOverlap(agent *workflow.Workflow, reg *registry.Registry, expertSteps []string) float64 {
+	set := map[string]bool{}
+	for _, name := range agent.CapabilityNames() {
+		cap, err := reg.Get(name)
+		if err != nil {
+			continue
+		}
+		for _, t := range cap.Tags {
+			set[t] = true
+		}
+	}
+	var agentTags []string
+	for t := range set {
+		agentTags = append(agentTags, t)
+	}
+	if len(expertSteps) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, s := range expertSteps {
+		if set[s] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(expertSteps))
+}
+
+// VerdictAgreement quantifies agreement between two forensic verdicts.
+type VerdictAgreement struct {
+	SameCausation bool
+	SameCable     bool
+	ConfidenceGap float64
+}
+
+// CompareVerdicts measures agent-vs-expert forensic agreement.
+func CompareVerdicts(agent, expert core.Verdict) VerdictAgreement {
+	return VerdictAgreement{
+		SameCausation: agent.CauseIsCableFailure == expert.CauseIsCableFailure,
+		SameCable:     agent.Cable == expert.Cable,
+		ConfidenceGap: math.Abs(agent.Confidence - expert.Confidence),
+	}
+}
+
+// GlobalToReport adapts a combined multi-event impact into an impact
+// report so the impact comparator applies to Case Study 2 outputs.
+func GlobalToReport(g xaminer.GlobalImpact) *xaminer.ImpactReport {
+	rep := &xaminer.ImpactReport{Scenario: "global-events"}
+	rep.Countries = append(rep.Countries, g.Countries...)
+	rep.FailedLinks = int(g.ExpectedLinksLost)
+	return rep
+}

@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"testing"
+
+	"arachnet/internal/core"
+	"arachnet/internal/netsim"
+	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
+	"arachnet/internal/xaminer"
+)
+
+func report(countries map[string]float64) *xaminer.ImpactReport {
+	rep := &xaminer.ImpactReport{Scenario: "test"}
+	for cc, score := range countries {
+		rep.Countries = append(rep.Countries, xaminer.CountryImpact{Country: cc, Score: score})
+	}
+	// Sort descending by score like real reports.
+	for i := 0; i < len(rep.Countries); i++ {
+		for j := i + 1; j < len(rep.Countries); j++ {
+			if rep.Countries[j].Score > rep.Countries[i].Score {
+				rep.Countries[i], rep.Countries[j] = rep.Countries[j], rep.Countries[i]
+			}
+		}
+	}
+	return rep
+}
+
+func TestCompareImpactIdentical(t *testing.T) {
+	r := report(map[string]float64{"FR": 0.9, "EG": 0.7, "IN": 0.5})
+	sim := CompareImpact(r, r)
+	if sim.TopKJaccard != 1 || sim.ScoreMAE != 0 || sim.CountryRecall != 1 {
+		t.Errorf("self-similarity = %+v", sim)
+	}
+	if sim.Spearman < 0.99 {
+		t.Errorf("self Spearman = %f", sim.Spearman)
+	}
+}
+
+func TestCompareImpactDisjoint(t *testing.T) {
+	a := report(map[string]float64{"FR": 0.9, "EG": 0.7})
+	b := report(map[string]float64{"US": 0.9, "BR": 0.7})
+	sim := CompareImpact(a, b)
+	if sim.TopKJaccard != 0 {
+		t.Errorf("disjoint Jaccard = %f", sim.TopKJaccard)
+	}
+	if sim.CountryRecall != 0 {
+		t.Errorf("disjoint recall = %f", sim.CountryRecall)
+	}
+}
+
+func TestCompareImpactPartial(t *testing.T) {
+	a := report(map[string]float64{"FR": 0.8, "EG": 0.6, "IN": 0.4})
+	b := report(map[string]float64{"FR": 0.9, "EG": 0.5, "SG": 0.3})
+	sim := CompareImpact(a, b)
+	if sim.TopKJaccard <= 0 || sim.TopKJaccard >= 1 {
+		t.Errorf("partial Jaccard = %f", sim.TopKJaccard)
+	}
+	if sim.CountryRecall != 2.0/3.0 {
+		t.Errorf("recall = %f, want 2/3", sim.CountryRecall)
+	}
+}
+
+func TestCompareImpactNil(t *testing.T) {
+	sim := CompareImpact(nil, report(map[string]float64{"FR": 1}))
+	if sim.TopKJaccard != 0 || sim.CountryRecall != 0 {
+		t.Errorf("nil comparison = %+v", sim)
+	}
+}
+
+func TestFunctionalOverlap(t *testing.T) {
+	reg := registry.New()
+	reg.MustRegister(registry.Capability{
+		Name: "t.a", Framework: "t", Description: "a",
+		Outputs: []registry.Port{{Name: "o", Type: registry.TString}},
+		Tags:    []string{"geo-mapping", "aggregation"},
+		Impl:    func(c *registry.Call) error { return nil },
+	})
+	wf := &workflow.Workflow{Steps: []workflow.Step{{ID: "s1", Capability: "t.a"}}}
+	got := FunctionalOverlap(wf, reg, []string{"geo-mapping", "aggregation", "link-extraction", "ip-extraction"})
+	if got != 0.5 {
+		t.Errorf("overlap = %f, want 0.5", got)
+	}
+	if FunctionalOverlap(wf, reg, nil) != 0 {
+		t.Error("empty expert steps must give 0")
+	}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	a := core.Verdict{CauseIsCableFailure: true, Cable: "seamewe-5", Confidence: 0.9}
+	b := core.Verdict{CauseIsCableFailure: true, Cable: "seamewe-5", Confidence: 0.8}
+	ag := CompareVerdicts(a, b)
+	if !ag.SameCausation || !ag.SameCable {
+		t.Errorf("agreement = %+v", ag)
+	}
+	if ag.ConfidenceGap < 0.099 || ag.ConfidenceGap > 0.101 {
+		t.Errorf("gap = %f", ag.ConfidenceGap)
+	}
+	c := core.Verdict{CauseIsCableFailure: false}
+	if ag := CompareVerdicts(a, c); ag.SameCausation || ag.SameCable {
+		t.Errorf("disagreement not detected: %+v", ag)
+	}
+}
+
+func TestGlobalToReport(t *testing.T) {
+	env, err := core.NewEnvironment(netsim.SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := xaminer.SevereEarthquakes()[0]
+	im, err := env.Analyzer.ProcessEvent(ev, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := xaminer.CombineEventImpacts(env.Analyzer, []xaminer.EventImpact{im})
+	rep := GlobalToReport(g)
+	if len(rep.Countries) != len(g.Countries) {
+		t.Errorf("adapter dropped countries")
+	}
+}

@@ -1,0 +1,228 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogConsistency(t *testing.T) {
+	cs := Countries()
+	if len(cs) < 60 {
+		t.Fatalf("catalog too small: %d countries", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if len(c.Code) != 2 {
+			t.Errorf("%s: code must be 2 letters", c.Code)
+		}
+		if seen[c.Code] {
+			t.Errorf("duplicate code %s", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Name == "" {
+			t.Errorf("%s: empty name", c.Code)
+		}
+		if !c.Hub.Valid() {
+			t.Errorf("%s: invalid hub %v", c.Code, c.Hub)
+		}
+		found := false
+		for _, r := range AllRegions() {
+			if c.Region == r {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("%s: unknown region %q", c.Code, c.Region)
+		}
+	}
+}
+
+func TestCountriesSorted(t *testing.T) {
+	cs := Countries()
+	for i := 1; i < len(cs); i++ {
+		if cs[i-1].Code >= cs[i].Code {
+			t.Fatalf("catalog not sorted at %d: %s >= %s", i, cs[i-1].Code, cs[i].Code)
+		}
+	}
+}
+
+func TestCountryLookups(t *testing.T) {
+	c, ok := CountryByCode("sg")
+	if !ok || c.Name != "Singapore" {
+		t.Fatalf("CountryByCode(sg) = %v, %v", c, ok)
+	}
+	c, ok = CountryByName("  france ")
+	if !ok || c.Code != "FR" {
+		t.Fatalf("CountryByName(france) = %v, %v", c, ok)
+	}
+	if _, ok := CountryByCode("ZZ"); ok {
+		t.Fatal("unexpected hit for ZZ")
+	}
+	if _, ok := CountryByName("atlantis"); ok {
+		t.Fatal("unexpected hit for atlantis")
+	}
+}
+
+func TestEveryRegionPopulated(t *testing.T) {
+	for _, r := range AllRegions() {
+		if n := len(CountriesInRegion(r)); n < 4 {
+			t.Errorf("region %s has only %d countries", r, n)
+		}
+	}
+}
+
+func TestCoastalCountries(t *testing.T) {
+	coastal := CoastalCountries()
+	if len(coastal) < 40 {
+		t.Fatalf("too few coastal countries: %d", len(coastal))
+	}
+	for _, c := range coastal {
+		if !c.Coastal {
+			t.Errorf("%s returned as coastal but flag is false", c.Code)
+		}
+	}
+	// Landlocked sanity: Switzerland must not be coastal.
+	ch, _ := CountryByCode("CH")
+	if ch.Coastal {
+		t.Error("Switzerland marked coastal")
+	}
+}
+
+func TestDistanceKnownPairs(t *testing.T) {
+	// London ↔ New York ≈ 5570 km.
+	gb, _ := CountryByCode("GB")
+	us, _ := CountryByCode("US")
+	d := DistanceKm(gb.Hub, us.Hub)
+	if d < 5300 || d > 5850 {
+		t.Errorf("London–NYC distance = %.0f km, want ≈5570", d)
+	}
+	// Singapore ↔ Mumbai ≈ 3900 km.
+	sg, _ := CountryByCode("SG")
+	in, _ := CountryByCode("IN")
+	d = DistanceKm(sg.Hub, in.Hub)
+	if d < 3700 || d > 4100 {
+		t.Errorf("SG–Mumbai distance = %.0f km, want ≈3900", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+	// Symmetry.
+	if err := quick.Check(func(la, lo, lb, lob float64) bool {
+		a := Coord{Lat: math.Mod(la, 90), Lng: math.Mod(lo, 180)}
+		b := Coord{Lat: math.Mod(lb, 90), Lng: math.Mod(lob, 180)}
+		d1, d2 := DistanceKm(a, b), DistanceKm(b, a)
+		return math.Abs(d1-d2) < 1e-6
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Identity and non-negativity.
+	if err := quick.Check(func(la, lo float64) bool {
+		a := Coord{Lat: math.Mod(la, 90), Lng: math.Mod(lo, 180)}
+		return DistanceKm(a, a) < 1e-9 && DistanceKm(a, Coord{}) >= 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Upper bound: half the circumference.
+	if err := quick.Check(func(la, lo, lb, lob float64) bool {
+		a := Coord{Lat: math.Mod(la, 90), Lng: math.Mod(lo, 180)}
+		b := Coord{Lat: math.Mod(lb, 90), Lng: math.Mod(lob, 180)}
+		return DistanceKm(a, b) <= math.Pi*6371.0+1
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTriangleInequality(t *testing.T) {
+	pts := []Coord{
+		{51.5, -0.1}, {1.35, 103.8}, {40.7, -74.0}, {-33.9, 151.2}, {31.2, 29.9},
+	}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, c := range pts {
+				if DistanceKm(a, c) > DistanceKm(a, b)+DistanceKm(b, c)+1e-6 {
+					t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPropagationDelay(t *testing.T) {
+	// 10,000 km of fiber ≈ 50 ms one-way.
+	d := PropagationDelayMs(10000)
+	if d < 48 || d < 0 || d > 52 {
+		t.Errorf("PropagationDelayMs(10000) = %.2f, want ≈50", d)
+	}
+	if PropagationDelayMs(0) != 0 {
+		t.Error("zero distance must give zero delay")
+	}
+}
+
+func TestParseRegion(t *testing.T) {
+	cases := map[string]Region{
+		"europe": Europe, "EU": Europe, "Asia": Asia, "APAC": Asia,
+		"middle east": MiddleEast, "gulf": MiddleEast,
+		"north america": NorthAmerica, "latam": SouthAmerica,
+		"africa": Africa, "pacific": Oceania,
+	}
+	for in, want := range cases {
+		got, ok := ParseRegion(in)
+		if !ok || got != want {
+			t.Errorf("ParseRegion(%q) = %v,%v want %v", in, got, ok, want)
+		}
+	}
+	if _, ok := ParseRegion("narnia"); ok {
+		t.Error("ParseRegion(narnia) should fail")
+	}
+}
+
+func TestRegionOf(t *testing.T) {
+	if r, ok := RegionOf("JP"); !ok || r != Asia {
+		t.Errorf("RegionOf(JP) = %v,%v", r, ok)
+	}
+	if _, ok := RegionOf("XX"); ok {
+		t.Error("RegionOf(XX) should fail")
+	}
+}
+
+func TestMidpoint(t *testing.T) {
+	a := Coord{0, 0}
+	b := Coord{0, 90}
+	m := Midpoint(a, b)
+	if math.Abs(m.Lat) > 1e-6 || math.Abs(m.Lng-45) > 1e-6 {
+		t.Errorf("Midpoint equator = %v, want (0,45)", m)
+	}
+	// Midpoint must be roughly equidistant.
+	gb, _ := CountryByCode("GB")
+	sg, _ := CountryByCode("SG")
+	m = Midpoint(gb.Hub, sg.Hub)
+	d1, d2 := DistanceKm(gb.Hub, m), DistanceKm(m, sg.Hub)
+	if math.Abs(d1-d2) > 1.0 {
+		t.Errorf("midpoint not equidistant: %.1f vs %.1f", d1, d2)
+	}
+}
+
+func TestCoordValid(t *testing.T) {
+	valid := []Coord{{0, 0}, {90, 180}, {-90, -180}, {51.5, -0.12}}
+	for _, c := range valid {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	invalid := []Coord{{91, 0}, {0, 181}, {-90.5, 0}, {0, -180.5}}
+	for _, c := range invalid {
+		if c.Valid() {
+			t.Errorf("%v should be invalid", c)
+		}
+	}
+}
+
+func BenchmarkDistanceKm(b *testing.B) {
+	a := Coord{51.507, -0.128}
+	c := Coord{1.352, 103.820}
+	for i := 0; i < b.N; i++ {
+		_ = DistanceKm(a, c)
+	}
+}

@@ -1,0 +1,62 @@
+package netsim
+
+import "arachnet/internal/geo"
+
+// landmass returns a coarse landmass identifier for a country. Two
+// countries on different landmasses can only be joined by a submarine
+// link. Islands get their own landmass so that, e.g., GB–FR and JP–KR
+// links are classified submarine.
+func landmass(code string) string {
+	switch code {
+	// Islands and effectively-insular networks (each its own landmass).
+	case "GB", "IE", "MT", "CY", "JP", "TW", "PH", "ID", "LK", "CU", "DO",
+		"FJ", "GU", "NZ", "AU", "SG", "BN", "BH", "KR":
+		return "island:" + code
+	// Afro-Eurasian mainland is split at the Mediterranean/Red Sea for
+	// cable-modeling purposes: Europe/Asia/Middle East vs Africa.
+	case "ZA", "KE", "TZ", "NG", "GH", "SN", "MA", "TN", "DZ", "MZ", "ET",
+		"SD", "CI", "CM", "AO", "DJ", "EG":
+		return "africa"
+	case "US", "CA", "MX", "PA", "CR":
+		return "north-america"
+	case "BR", "AR", "CL", "CO", "PE", "UY", "VE":
+		return "south-america"
+	default:
+		return "eurasia"
+	}
+}
+
+// longHaulSubmarineKm is the intra-landmass distance beyond which a
+// cross-border link is provisioned over submarine systems rather than
+// terrestrial backbones. This captures the empirical Nautilus
+// observation that Europe–Asia long-haul capacity rides the
+// SEA-ME-WE/AAE corridor rather than overland routes.
+const longHaulSubmarineKm = 3000
+
+// classifyLink decides the medium of a link between two countries.
+func classifyLink(a, b geo.Country, distKm float64) LinkKind {
+	if a.Code == b.Code {
+		return LinkIntra
+	}
+	if landmass(a.Code) != landmass(b.Code) {
+		return LinkSubmarine
+	}
+	if distKm > longHaulSubmarineKm && a.Coastal && b.Coastal {
+		return LinkSubmarine
+	}
+	return LinkTerrestrial
+}
+
+// pathStretch is the ratio of fiber-path length to great-circle distance
+// for each medium. Submarine cables follow coastlines and avoid hazards;
+// terrestrial fiber follows rights-of-way.
+func pathStretch(k LinkKind) float64 {
+	switch k {
+	case LinkSubmarine:
+		return 1.40
+	case LinkTerrestrial:
+		return 1.25
+	default:
+		return 1.05
+	}
+}

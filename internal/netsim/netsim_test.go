@@ -1,0 +1,389 @@
+package netsim
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"arachnet/internal/geo"
+)
+
+func small(t testing.TB) *World {
+	t.Helper()
+	w, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w
+}
+
+func full(t testing.TB) *World {
+	t.Helper()
+	w, err := Generate(DefaultConfig(42))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return w
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	w1, err := Generate(SmallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(SmallConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w1.ASes, w2.ASes) {
+		t.Error("ASes differ across runs with same seed")
+	}
+	if !reflect.DeepEqual(w1.ASLinks, w2.ASLinks) {
+		t.Error("ASLinks differ across runs with same seed")
+	}
+	if !reflect.DeepEqual(w1.IPLinks, w2.IPLinks) {
+		t.Error("IPLinks differ across runs with same seed")
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	w1, _ := Generate(SmallConfig(1))
+	w2, _ := Generate(SmallConfig(2))
+	if reflect.DeepEqual(w1.ASLinks, w2.ASLinks) && reflect.DeepEqual(w1.IPLinks, w2.IPLinks) {
+		t.Error("different seeds produced identical worlds")
+	}
+}
+
+func TestGenerateInvalidConfig(t *testing.T) {
+	if _, err := Generate(Config{Tier1Count: 0}); err == nil {
+		t.Error("want error for zero tier-1 count")
+	}
+	cfg := SmallConfig(1)
+	cfg.Countries = []string{"XX"}
+	if _, err := Generate(cfg); err == nil {
+		t.Error("want error for unknown country")
+	}
+}
+
+func TestWorldShape(t *testing.T) {
+	w := small(t)
+	s := w.Summary()
+	if s.ASes == 0 || s.Routers == 0 || s.IPLinks == 0 || s.Prefixes == 0 {
+		t.Fatalf("degenerate world: %v", s)
+	}
+	wantASes := 3 + 1*regionCount(w) + 12 + 2 // tier1 + tier2 + stubs + cdn
+	if s.ASes != wantASes {
+		t.Errorf("ASes = %d, want %d", s.ASes, wantASes)
+	}
+	if s.Submarine == 0 {
+		t.Error("world has no submarine links; cable case studies would be vacuous")
+	}
+	if s.Terrestrial == 0 {
+		t.Error("world has no terrestrial links")
+	}
+}
+
+func regionCount(w *World) int {
+	set := map[geo.Region]bool{}
+	for _, c := range w.Countries {
+		set[c.Region] = true
+	}
+	return len(set)
+}
+
+func TestEveryASHasRouterPerPresence(t *testing.T) {
+	w := small(t)
+	for _, a := range w.ASes {
+		got := len(w.RoutersOf(a.ASN))
+		if got != len(a.Presence) {
+			t.Errorf("AS %d: %d routers, want %d", a.ASN, got, len(a.Presence))
+		}
+		for _, cc := range a.Presence {
+			if _, ok := w.RouterIn(a.ASN, cc); !ok {
+				t.Errorf("AS %d: no router in %s", a.ASN, cc)
+			}
+		}
+	}
+}
+
+func TestStubsHaveProviders(t *testing.T) {
+	w := small(t)
+	providers := map[ASN]int{}
+	for _, l := range w.ASLinks {
+		if l.Rel == CustomerToProvider {
+			providers[l.A]++
+		}
+	}
+	for _, a := range w.ASes {
+		if a.Tier == Stub && providers[a.ASN] == 0 {
+			t.Errorf("stub AS %d (%s) has no provider", a.ASN, a.Name)
+		}
+		if a.Tier == Tier2 && providers[a.ASN] == 0 {
+			t.Errorf("tier2 AS %d (%s) has no provider", a.ASN, a.Name)
+		}
+	}
+}
+
+func TestTier1FullMesh(t *testing.T) {
+	w := small(t)
+	var t1 []ASN
+	for _, a := range w.ASes {
+		if a.Tier == Tier1 {
+			t1 = append(t1, a.ASN)
+		}
+	}
+	peer := map[[2]ASN]bool{}
+	for _, l := range w.ASLinks {
+		if l.Rel == PeerToPeer {
+			peer[[2]ASN{l.A, l.B}] = true
+			peer[[2]ASN{l.B, l.A}] = true
+		}
+	}
+	for i := range t1 {
+		for j := i + 1; j < len(t1); j++ {
+			if !peer[[2]ASN{t1[i], t1[j]}] {
+				t.Errorf("tier1 %d and %d not peered", t1[i], t1[j])
+			}
+		}
+	}
+}
+
+func TestNoDuplicateASLinks(t *testing.T) {
+	w := small(t)
+	seen := map[[2]ASN]bool{}
+	for _, l := range w.ASLinks {
+		k := [2]ASN{l.A, l.B}
+		rk := [2]ASN{l.B, l.A}
+		if seen[k] || seen[rk] {
+			t.Errorf("duplicate AS link %d-%d", l.A, l.B)
+		}
+		seen[k] = true
+	}
+}
+
+func TestASGraphConnected(t *testing.T) {
+	w := small(t)
+	if len(w.ASes) == 0 {
+		t.Fatal("no ASes")
+	}
+	adj := map[ASN][]ASN{}
+	for _, l := range w.ASLinks {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	start := w.ASes[0].ASN
+	seen := map[ASN]bool{start: true}
+	queue := []ASN{start}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if !seen[nb] {
+				seen[nb] = true
+				queue = append(queue, nb)
+			}
+		}
+	}
+	for _, a := range w.ASes {
+		if !seen[a.ASN] {
+			t.Errorf("AS %d (%s) unreachable in AS graph", a.ASN, a.Name)
+		}
+	}
+}
+
+func TestGeolocation(t *testing.T) {
+	w := small(t)
+	for _, r := range w.Routers {
+		cc, ok := w.Locate(r.Addr)
+		if !ok {
+			t.Fatalf("router %d addr %s not locatable", r.ID, r.Addr)
+		}
+		if cc != r.Country {
+			t.Errorf("router %d located in %s, want %s", r.ID, cc, r.Country)
+		}
+		origin, ok := w.OriginOf(r.Addr)
+		if !ok || origin != r.ASN {
+			t.Errorf("router %d origin = %d,%v want %d", r.ID, origin, ok, r.ASN)
+		}
+	}
+	if _, ok := w.Locate(netip.MustParseAddr("192.0.2.1")); ok {
+		t.Error("unallocated address should not geolocate")
+	}
+}
+
+func TestLinkEndpointAddressesBelongToEndASes(t *testing.T) {
+	w := small(t)
+	for _, l := range w.IPLinks {
+		ra, _ := w.RouterByID(l.A)
+		rb, _ := w.RouterByID(l.B)
+		if o, _ := w.OriginOf(l.SrcAddr); o != ra.ASN {
+			t.Errorf("link %d src addr origin %d != %d", l.ID, o, ra.ASN)
+		}
+		if o, _ := w.OriginOf(l.DstAddr); o != rb.ASN {
+			t.Errorf("link %d dst addr origin %d != %d", l.ID, o, rb.ASN)
+		}
+	}
+}
+
+func TestSubmarineClassification(t *testing.T) {
+	w := small(t)
+	for _, l := range w.SubmarineLinks() {
+		a, b := w.LinkEndpoints(l)
+		if a == b {
+			t.Errorf("link %d: submarine link within one country %s", l.ID, a)
+		}
+		ca, _ := geo.CountryByCode(a)
+		cb, _ := geo.CountryByCode(b)
+		sameMass := landmass(a) == landmass(b)
+		if sameMass && l.DistKm < longHaulSubmarineKm {
+			t.Errorf("link %d %s-%s: same landmass short link marked submarine", l.ID, a, b)
+		}
+		_ = ca
+		_ = cb
+	}
+	// GB is an island: every GB cross-border link must be submarine.
+	for _, l := range w.IPLinks {
+		a, b := w.LinkEndpoints(l)
+		if a == b {
+			continue
+		}
+		if (a == "GB" || b == "GB") && l.Kind != LinkSubmarine {
+			t.Errorf("link %d %s-%s: GB cross-border link is %v, want submarine", l.ID, a, b, l.Kind)
+		}
+	}
+}
+
+func TestLinkDistancesPositive(t *testing.T) {
+	w := small(t)
+	for _, l := range w.IPLinks {
+		a, b := w.LinkEndpoints(l)
+		if a != b && l.DistKm <= 0 {
+			t.Errorf("cross-border link %d has non-positive distance", l.ID)
+		}
+		if l.DistKm < 0 {
+			t.Errorf("link %d negative distance", l.ID)
+		}
+	}
+}
+
+func TestIntraASBackboneConnectsPresence(t *testing.T) {
+	w := small(t)
+	for _, a := range w.ASes {
+		if len(a.Presence) < 2 {
+			continue
+		}
+		// BFS over intra-AS links only.
+		adj := map[RouterID][]RouterID{}
+		for _, l := range w.IPLinks {
+			if l.IntraAS && l.ASLinkAB[0] == a.ASN {
+				adj[l.A] = append(adj[l.A], l.B)
+				adj[l.B] = append(adj[l.B], l.A)
+			}
+		}
+		routers := w.RoutersOf(a.ASN)
+		seen := map[RouterID]bool{routers[0]: true}
+		queue := []RouterID{routers[0]}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		for _, r := range routers {
+			if !seen[r] {
+				t.Errorf("AS %d: router %d not reachable over backbone", a.ASN, r)
+			}
+		}
+	}
+}
+
+func TestNeighborsOf(t *testing.T) {
+	w := small(t)
+	for _, l := range w.ASLinks {
+		if l.Rel != CustomerToProvider {
+			continue
+		}
+		foundProv, foundCust := false, false
+		for _, nb := range w.NeighborsOf(l.A) {
+			if nb.ASN == l.B && nb.Kind == "provider" {
+				foundProv = true
+			}
+		}
+		for _, nb := range w.NeighborsOf(l.B) {
+			if nb.ASN == l.A && nb.Kind == "customer" {
+				foundCust = true
+			}
+		}
+		if !foundProv || !foundCust {
+			t.Fatalf("asymmetric adjacency for c2p link %d->%d", l.A, l.B)
+		}
+	}
+}
+
+func TestFullWorldScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full world in -short mode")
+	}
+	w := full(t)
+	s := w.Summary()
+	if s.ASes < 150 {
+		t.Errorf("full world too small: %v", s)
+	}
+	if s.Submarine < 50 {
+		t.Errorf("full world has too few submarine links: %d", s.Submarine)
+	}
+	// Lookup integrity over the whole world.
+	for _, l := range w.IPLinks {
+		if _, ok := w.RouterByID(l.A); !ok {
+			t.Fatalf("dangling router %d", l.A)
+		}
+		if _, ok := w.RouterByID(l.B); !ok {
+			t.Fatalf("dangling router %d", l.B)
+		}
+	}
+}
+
+func TestLookupMisses(t *testing.T) {
+	w := small(t)
+	if _, ok := w.ASByNum(9999999); ok {
+		t.Error("ASByNum should miss")
+	}
+	if _, ok := w.RouterByID(0); ok {
+		t.Error("RouterByID(0) should miss")
+	}
+	if _, ok := w.LinkByID(0); ok {
+		t.Error("LinkByID(0) should miss")
+	}
+	if _, ok := w.RouterIn(1, "GB"); ok {
+		t.Error("RouterIn for unknown AS should miss")
+	}
+}
+
+func BenchmarkGenerateSmall(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(SmallConfig(7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(DefaultConfig(42)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocate(b *testing.B) {
+	w := small(b)
+	addr := w.Routers[len(w.Routers)/2].Addr
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Locate(addr)
+	}
+}

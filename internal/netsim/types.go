@@ -1,0 +1,211 @@
+// Package netsim generates a deterministic synthetic Internet: autonomous
+// systems with business relationships, routers placed in countries,
+// address space, and the physical IP-level links between routers.
+//
+// Every other substrate consumes this world: the cartography package maps
+// its submarine IP links onto cables, the BGP package propagates routes
+// over its AS graph, the traceroute package times paths across its
+// routers, and the resilience package aggregates failures over all of it.
+//
+// Generation is fully deterministic given a Config: the same seed always
+// yields byte-for-byte the same world, which is what makes the paper's
+// case studies reproducible as unit tests.
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+
+	"arachnet/internal/geo"
+)
+
+// ASN is an autonomous system number.
+type ASN uint32
+
+// Tier classifies an AS by its role in the Internet hierarchy.
+type Tier int
+
+// AS tiers, from global transit providers down to edge networks.
+const (
+	Tier1   Tier = iota + 1 // global transit-free backbone
+	Tier2                   // regional provider
+	Stub                    // edge network (local ISP, enterprise)
+	Content                 // content/CDN network with flat peering
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case Tier1:
+		return "tier1"
+	case Tier2:
+		return "tier2"
+	case Stub:
+		return "stub"
+	case Content:
+		return "content"
+	}
+	return fmt.Sprintf("tier(%d)", int(t))
+}
+
+// AS is one autonomous system.
+type AS struct {
+	ASN      ASN
+	Name     string
+	Tier     Tier
+	Home     string   // ISO country code of headquarters
+	Presence []string // countries where the AS operates routers (includes Home)
+}
+
+// Relationship is the business relationship on an AS-level link.
+type Relationship int
+
+// AS relationship kinds, following the Gao–Rexford model.
+const (
+	CustomerToProvider Relationship = iota + 1 // A pays B
+	PeerToPeer                                 // settlement-free
+)
+
+// String implements fmt.Stringer.
+func (r Relationship) String() string {
+	switch r {
+	case CustomerToProvider:
+		return "c2p"
+	case PeerToPeer:
+		return "p2p"
+	}
+	return fmt.Sprintf("rel(%d)", int(r))
+}
+
+// ASLink is an edge in the AS-level graph. For CustomerToProvider links,
+// A is the customer and B the provider.
+type ASLink struct {
+	A, B ASN
+	Rel  Relationship
+}
+
+// RouterID identifies a router. IDs are dense and start at 1.
+type RouterID uint32
+
+// Router is a point of presence of one AS in one country.
+type Router struct {
+	ID      RouterID
+	ASN     ASN
+	Country string // ISO country code
+	Loc     geo.Coord
+	Addr    netip.Addr // loopback/interface address used in traceroutes
+}
+
+// LinkKind classifies the physical medium of an IP link.
+type LinkKind int
+
+// IP link media.
+const (
+	LinkIntra       LinkKind = iota + 1 // same metro / same country
+	LinkTerrestrial                     // cross-border over land
+	LinkSubmarine                       // cross-border over sea (rides a cable)
+)
+
+// String implements fmt.Stringer.
+func (k LinkKind) String() string {
+	switch k {
+	case LinkIntra:
+		return "intra"
+	case LinkTerrestrial:
+		return "terrestrial"
+	case LinkSubmarine:
+		return "submarine"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// LinkID identifies an IP link. IDs are dense and start at 1.
+type LinkID uint32
+
+// IPLink is a physical adjacency between two routers. SrcAddr/DstAddr are
+// the interface addresses on each side; Kind records the medium and
+// DistKm the fiber-path length (great circle times a stretch factor).
+type IPLink struct {
+	ID       LinkID
+	A, B     RouterID
+	SrcAddr  netip.Addr
+	DstAddr  netip.Addr
+	Kind     LinkKind
+	DistKm   float64
+	IntraAS  bool // backbone link inside one AS
+	ASLinkAB [2]ASN
+}
+
+// Prefix is an address block originated by one AS in one country.
+type Prefix struct {
+	CIDR    netip.Prefix
+	Origin  ASN
+	Country string
+}
+
+// Config controls world generation. The zero value is not valid; use
+// DefaultConfig or SmallConfig as a starting point.
+type Config struct {
+	Seed            uint64
+	Countries       []string // ISO codes; empty means the full geo catalog
+	StubsPerCountry int
+	Tier1Count      int
+	Tier2PerRegion  int
+	ContentCount    int
+}
+
+// DefaultConfig is the full-size world used by the case studies.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		StubsPerCountry: 2,
+		Tier1Count:      8,
+		Tier2PerRegion:  3,
+		ContentCount:    6,
+	}
+}
+
+// SmallConfig is a compact world for fast unit tests: a handful of
+// countries on three continents with full vertical structure.
+func SmallConfig(seed uint64) Config {
+	return Config{
+		Seed:            seed,
+		Countries:       []string{"GB", "FR", "DE", "EG", "IN", "SG", "JP", "US", "BR", "ZA", "AE", "IT"},
+		StubsPerCountry: 1,
+		Tier1Count:      3,
+		Tier2PerRegion:  1,
+		ContentCount:    2,
+	}
+}
+
+// World is the generated Internet. All slices are sorted by ID/ASN and
+// must be treated as immutable; failure scenarios are expressed as
+// external sets of failed link IDs, never by mutating the world.
+type World struct {
+	Cfg       Config
+	ASes      []AS
+	ASLinks   []ASLink
+	Routers   []Router
+	IPLinks   []IPLink
+	Prefixes  []Prefix
+	Countries []geo.Country // the subset of the catalog in play
+
+	asByNum      map[ASN]*AS
+	routerByID   map[RouterID]*Router
+	linkByID     map[LinkID]*IPLink
+	routersByAS  map[ASN][]RouterID
+	linksByRtr   map[RouterID][]LinkID
+	prefixByAddr []prefixEntry // sorted for binary search
+	asAdj        map[ASN][]neighbor
+}
+
+type prefixEntry struct {
+	cidr    netip.Prefix
+	origin  ASN
+	country string
+}
+
+type neighbor struct {
+	asn ASN
+	rel Relationship // relationship from the perspective of the map key
+}

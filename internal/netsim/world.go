@@ -1,0 +1,238 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// buildIndexes populates the lookup maps after generation.
+func (w *World) buildIndexes() {
+	w.asByNum = make(map[ASN]*AS, len(w.ASes))
+	for i := range w.ASes {
+		w.asByNum[w.ASes[i].ASN] = &w.ASes[i]
+	}
+	w.routerByID = make(map[RouterID]*Router, len(w.Routers))
+	w.routersByAS = make(map[ASN][]RouterID)
+	for i := range w.Routers {
+		r := &w.Routers[i]
+		w.routerByID[r.ID] = r
+		w.routersByAS[r.ASN] = append(w.routersByAS[r.ASN], r.ID)
+	}
+	w.linkByID = make(map[LinkID]*IPLink, len(w.IPLinks))
+	w.linksByRtr = make(map[RouterID][]LinkID)
+	for i := range w.IPLinks {
+		l := &w.IPLinks[i]
+		w.linkByID[l.ID] = l
+		w.linksByRtr[l.A] = append(w.linksByRtr[l.A], l.ID)
+		w.linksByRtr[l.B] = append(w.linksByRtr[l.B], l.ID)
+	}
+	w.prefixByAddr = make([]prefixEntry, 0, len(w.Prefixes))
+	for _, p := range w.Prefixes {
+		w.prefixByAddr = append(w.prefixByAddr, prefixEntry{cidr: p.CIDR, origin: p.Origin, country: p.Country})
+	}
+	sort.Slice(w.prefixByAddr, func(i, j int) bool {
+		return w.prefixByAddr[i].cidr.Addr().Less(w.prefixByAddr[j].cidr.Addr())
+	})
+	w.asAdj = make(map[ASN][]neighbor)
+	for _, l := range w.ASLinks {
+		switch l.Rel {
+		case CustomerToProvider:
+			w.asAdj[l.A] = append(w.asAdj[l.A], neighbor{asn: l.B, rel: CustomerToProvider})
+			w.asAdj[l.B] = append(w.asAdj[l.B], neighbor{asn: l.A, rel: providerToCustomer})
+		case PeerToPeer:
+			w.asAdj[l.A] = append(w.asAdj[l.A], neighbor{asn: l.B, rel: PeerToPeer})
+			w.asAdj[l.B] = append(w.asAdj[l.B], neighbor{asn: l.A, rel: PeerToPeer})
+		}
+	}
+	for _, ns := range w.asAdj {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].asn < ns[j].asn })
+	}
+}
+
+// providerToCustomer is the internal mirror of CustomerToProvider seen
+// from the provider side. It is not a public relationship kind.
+const providerToCustomer Relationship = 100
+
+// ASByNum returns the AS with the given number.
+func (w *World) ASByNum(n ASN) (AS, bool) {
+	a, ok := w.asByNum[n]
+	if !ok {
+		return AS{}, false
+	}
+	return *a, true
+}
+
+// RouterByID returns the router with the given ID.
+func (w *World) RouterByID(id RouterID) (Router, bool) {
+	r, ok := w.routerByID[id]
+	if !ok {
+		return Router{}, false
+	}
+	return *r, true
+}
+
+// LinkByID returns the IP link with the given ID.
+func (w *World) LinkByID(id LinkID) (IPLink, bool) {
+	l, ok := w.linkByID[id]
+	if !ok {
+		return IPLink{}, false
+	}
+	return *l, true
+}
+
+// RoutersOf returns the router IDs of an AS in ascending order.
+func (w *World) RoutersOf(n ASN) []RouterID {
+	ids := w.routersByAS[n]
+	out := make([]RouterID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RouterIn returns the router of AS n located in the given country.
+func (w *World) RouterIn(n ASN, country string) (Router, bool) {
+	for _, id := range w.routersByAS[n] {
+		r := w.routerByID[id]
+		if r.Country == country {
+			return *r, true
+		}
+	}
+	return Router{}, false
+}
+
+// LinksAt returns the IDs of links incident to a router.
+func (w *World) LinksAt(id RouterID) []LinkID {
+	ids := w.linksByRtr[id]
+	out := make([]LinkID, len(ids))
+	copy(out, ids)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Locate geolocates an address to a country using the allocation table.
+// It is the synthetic equivalent of an IP-geolocation database.
+func (w *World) Locate(a netip.Addr) (string, bool) {
+	e, ok := w.prefixEntryFor(a)
+	if !ok {
+		return "", false
+	}
+	return e.country, true
+}
+
+// OriginOf returns the AS that originates the prefix covering an address.
+func (w *World) OriginOf(a netip.Addr) (ASN, bool) {
+	e, ok := w.prefixEntryFor(a)
+	if !ok {
+		return 0, false
+	}
+	return e.origin, true
+}
+
+// PrefixFor returns the covering prefix for an address.
+func (w *World) PrefixFor(a netip.Addr) (netip.Prefix, bool) {
+	e, ok := w.prefixEntryFor(a)
+	if !ok {
+		return netip.Prefix{}, false
+	}
+	return e.cidr, true
+}
+
+func (w *World) prefixEntryFor(a netip.Addr) (prefixEntry, bool) {
+	// Binary search for the last prefix whose base address is <= a.
+	i := sort.Search(len(w.prefixByAddr), func(i int) bool {
+		return a.Less(w.prefixByAddr[i].cidr.Addr())
+	})
+	if i == 0 {
+		return prefixEntry{}, false
+	}
+	e := w.prefixByAddr[i-1]
+	if !e.cidr.Contains(a) {
+		return prefixEntry{}, false
+	}
+	return e, true
+}
+
+// Neighbor describes one AS-level adjacency from the viewpoint of a
+// given AS.
+type Neighbor struct {
+	ASN ASN
+	// Kind is "provider", "customer", or "peer" relative to the AS the
+	// adjacency was asked about.
+	Kind string
+}
+
+// NeighborsOf lists the AS-level neighbors of n with relationship roles.
+func (w *World) NeighborsOf(n ASN) []Neighbor {
+	var out []Neighbor
+	for _, nb := range w.asAdj[n] {
+		switch nb.rel {
+		case CustomerToProvider:
+			out = append(out, Neighbor{ASN: nb.asn, Kind: "provider"})
+		case providerToCustomer:
+			out = append(out, Neighbor{ASN: nb.asn, Kind: "customer"})
+		case PeerToPeer:
+			out = append(out, Neighbor{ASN: nb.asn, Kind: "peer"})
+		}
+	}
+	return out
+}
+
+// SubmarineLinks returns all IP links classified as submarine, in ID
+// order. These are the links the cartography subsystem maps to cables.
+func (w *World) SubmarineLinks() []IPLink {
+	var out []IPLink
+	for _, l := range w.IPLinks {
+		if l.Kind == LinkSubmarine {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// LinkEndpoints returns the countries at each end of a link.
+func (w *World) LinkEndpoints(l IPLink) (a, b string) {
+	ra, _ := w.RouterByID(l.A)
+	rb, _ := w.RouterByID(l.B)
+	return ra.Country, rb.Country
+}
+
+// CountryOfRouter returns the country of a router ID, or "" if unknown.
+func (w *World) CountryOfRouter(id RouterID) string {
+	r, ok := w.RouterByID(id)
+	if !ok {
+		return ""
+	}
+	return r.Country
+}
+
+// Stats summarizes the world size; used in logs and docs.
+type Stats struct {
+	ASes, ASLinks, Routers, IPLinks, Prefixes int
+	Submarine, Terrestrial, Intra             int
+}
+
+// Summary computes world statistics.
+func (w *World) Summary() Stats {
+	s := Stats{
+		ASes: len(w.ASes), ASLinks: len(w.ASLinks), Routers: len(w.Routers),
+		IPLinks: len(w.IPLinks), Prefixes: len(w.Prefixes),
+	}
+	for _, l := range w.IPLinks {
+		switch l.Kind {
+		case LinkSubmarine:
+			s.Submarine++
+		case LinkTerrestrial:
+			s.Terrestrial++
+		case LinkIntra:
+			s.Intra++
+		}
+	}
+	return s
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("ASes=%d ASLinks=%d Routers=%d IPLinks=%d (sub=%d terr=%d intra=%d) Prefixes=%d",
+		s.ASes, s.ASLinks, s.Routers, s.IPLinks, s.Submarine, s.Terrestrial, s.Intra, s.Prefixes)
+}

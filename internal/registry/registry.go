@@ -1,0 +1,321 @@
+// Package registry implements ArachNet's foundation: a curated catalog
+// of measurement-tool capabilities described by what they do — typed
+// inputs, typed outputs, constraints — never how they do it.
+//
+// The paper motivates this design directly: exposing entire codebases
+// overwhelmed the agents with implementation detail, while a compact
+// "measurement API" enables intelligent composition and scales linearly
+// with the number of tools. Entries here carry an executable
+// implementation so generated workflows can actually run, but agents
+// only ever reason over the metadata.
+package registry
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DataType names a value format flowing between capabilities. Types are
+// namespaced strings (e.g. "cable.id", "impact.report") so that the
+// workflow engine can check that producers and consumers agree.
+type DataType string
+
+// Core data types shared by the built-in frameworks.
+const (
+	TString      DataType = "scalar.string"
+	TFloat       DataType = "scalar.float"
+	TInt         DataType = "scalar.int"
+	TBool        DataType = "scalar.bool"
+	TStringList  DataType = "list.string"
+	TCableID     DataType = "cable.id"
+	TCableList   DataType = "cable.list"
+	TCrossLayer  DataType = "cable.crosslayermap"
+	TLinkSet     DataType = "link.set"
+	TIPSet       DataType = "ip.set"
+	TGeoTable    DataType = "geo.table"      // ip/link → country rows
+	TImpact      DataType = "impact.report"  // country-level impact report
+	TEventList   DataType = "event.list"     // disaster events
+	TEventImpact DataType = "event.impact"   // per-event expectation impact
+	TGlobal      DataType = "impact.global"  // combined multi-event impact
+	TCascade     DataType = "cascade.report" // cable+AS cascade result
+	TStress      DataType = "topo.stress"    // AS stress propagation result
+	TBGPStream   DataType = "bgp.stream"     // update messages
+	TBGPBursts   DataType = "bgp.bursts"     // detected bursts
+	TTraceArch   DataType = "trace.archive"  // measurement archive
+	TAnomaly     DataType = "trace.anomaly"  // latency anomaly finding
+	TSuspects    DataType = "forensic.suspects"
+	TVerdict     DataType = "forensic.verdict"
+	TTimeline    DataType = "timeline.report" // unified cross-layer timeline
+)
+
+// Port is one named, typed input or output of a capability.
+type Port struct {
+	Name string   `json:"name"`
+	Type DataType `json:"type"`
+	Desc string   `json:"desc,omitempty"`
+	// Optional marks inputs that may be left unbound.
+	Optional bool `json:"optional,omitempty"`
+}
+
+// Call is the invocation context handed to a capability
+// implementation: bound inputs, the output map to fill, and the shared
+// execution environment (opaque to this package).
+type Call struct {
+	In  map[string]any
+	Out map[string]any
+	Env any
+}
+
+// Input fetches a bound input value or fails with a descriptive error.
+func (c *Call) Input(name string) (any, error) {
+	v, ok := c.In[name]
+	if !ok {
+		return nil, fmt.Errorf("registry: input %q not bound", name)
+	}
+	return v, nil
+}
+
+// Func is an executable capability implementation.
+type Func func(*Call) error
+
+// Capability is one registry entry.
+type Capability struct {
+	Name        string   `json:"name"`
+	Framework   string   `json:"framework"`
+	Description string   `json:"description"`
+	Inputs      []Port   `json:"inputs,omitempty"`
+	Outputs     []Port   `json:"outputs"`
+	Constraints []string `json:"constraints,omitempty"`
+	Tags        []string `json:"tags,omitempty"`
+	// Cost is a coarse execution-cost estimate (1 cheap … 10 heavy),
+	// used by WorkflowScout's trade-off scoring.
+	Cost int `json:"cost"`
+	// Composite marks capabilities promoted by RegistryCurator from
+	// observed workflow patterns rather than hand-curated.
+	Composite bool `json:"composite,omitempty"`
+
+	Impl Func `json:"-"`
+}
+
+// HasTag reports whether the capability carries a tag.
+func (c *Capability) HasTag(tag string) bool {
+	for _, t := range c.Tags {
+		if t == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Produces reports whether the capability has an output of the type.
+func (c *Capability) Produces(t DataType) bool {
+	for _, p := range c.Outputs {
+		if p.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// InputPort finds an input port by name.
+func (c *Capability) InputPort(name string) (Port, bool) {
+	for _, p := range c.Inputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// OutputPort finds an output port by name.
+func (c *Capability) OutputPort(name string) (Port, bool) {
+	for _, p := range c.Outputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Port{}, false
+}
+
+// ErrNotFound is returned when a capability is missing.
+var ErrNotFound = errors.New("registry: capability not found")
+
+// Registry is the capability catalog.
+type Registry struct {
+	caps map[string]*Capability
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{caps: make(map[string]*Capability)}
+}
+
+// Register validates and adds a capability. Registration fails on
+// duplicate names, missing implementation, malformed ports or a
+// missing framework.
+func (r *Registry) Register(c Capability) error {
+	if c.Name == "" || !strings.Contains(c.Name, ".") {
+		return fmt.Errorf("registry: capability name %q must be framework-qualified (framework.verb)", c.Name)
+	}
+	if c.Framework == "" {
+		return fmt.Errorf("registry: capability %q has no framework", c.Name)
+	}
+	if c.Impl == nil {
+		return fmt.Errorf("registry: capability %q has no implementation", c.Name)
+	}
+	if c.Description == "" {
+		return fmt.Errorf("registry: capability %q has no description", c.Name)
+	}
+	if len(c.Outputs) == 0 {
+		return fmt.Errorf("registry: capability %q produces nothing", c.Name)
+	}
+	for _, ports := range [][]Port{c.Inputs, c.Outputs} {
+		seen := map[string]bool{}
+		for _, p := range ports {
+			if p.Name == "" || p.Type == "" {
+				return fmt.Errorf("registry: capability %q has unnamed or untyped port", c.Name)
+			}
+			if seen[p.Name] {
+				return fmt.Errorf("registry: capability %q has duplicate port %q", c.Name, p.Name)
+			}
+			seen[p.Name] = true
+		}
+	}
+	if _, dup := r.caps[c.Name]; dup {
+		return fmt.Errorf("registry: capability %q already registered", c.Name)
+	}
+	if c.Cost <= 0 {
+		c.Cost = 1
+	}
+	cc := c
+	r.caps[c.Name] = &cc
+	return nil
+}
+
+// MustRegister panics on registration failure; for built-in catalogs
+// whose validity is a program invariant.
+func (r *Registry) MustRegister(c Capability) {
+	if err := r.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns a capability by name.
+func (r *Registry) Get(name string) (*Capability, error) {
+	c, ok := r.caps[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return c, nil
+}
+
+// Has reports whether a capability exists.
+func (r *Registry) Has(name string) bool {
+	_, ok := r.caps[name]
+	return ok
+}
+
+// Size returns the number of registered capabilities.
+func (r *Registry) Size() int { return len(r.caps) }
+
+// All returns every capability sorted by name.
+func (r *Registry) All() []*Capability {
+	out := make([]*Capability, 0, len(r.caps))
+	for _, c := range r.caps {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByFramework returns the capabilities of one framework, sorted.
+func (r *Registry) ByFramework(fw string) []*Capability {
+	var out []*Capability
+	for _, c := range r.All() {
+		if c.Framework == fw {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ByTag returns capabilities carrying a tag, sorted by name.
+func (r *Registry) ByTag(tag string) []*Capability {
+	var out []*Capability
+	for _, c := range r.All() {
+		if c.HasTag(tag) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Producing returns capabilities with an output of the given type,
+// sorted by ascending cost then name — the order WorkflowScout explores.
+func (r *Registry) Producing(t DataType) []*Capability {
+	var out []*Capability
+	for _, c := range r.All() {
+		if c.Produces(t) {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Frameworks lists the distinct frameworks present, sorted.
+func (r *Registry) Frameworks() []string {
+	set := map[string]bool{}
+	for _, c := range r.caps {
+		set[c.Framework] = true
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subset returns a new registry holding only the named capabilities.
+// Unknown names are reported as an error. Used by evaluation setups
+// that restrict the agent to "core Nautilus functions only".
+func (r *Registry) Subset(names ...string) (*Registry, error) {
+	sub := New()
+	for _, n := range names {
+		c, err := r.Get(n)
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Register(*c); err != nil {
+			return nil, err
+		}
+	}
+	return sub, nil
+}
+
+// Clone returns a deep copy of the registry (capabilities are copied;
+// implementations are shared function values).
+func (r *Registry) Clone() *Registry {
+	out := New()
+	for _, c := range r.caps {
+		cc := *c
+		out.caps[cc.Name] = &cc
+	}
+	return out
+}
+
+// MarshalJSON serializes the catalog metadata (without implementations)
+// as a deterministic JSON array. This is the registry document an LLM
+// agent would be prompted with.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(r.All(), "", "  ")
+}

@@ -1,0 +1,370 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); !almost(m, 5, 1e-12) {
+		t.Errorf("Mean = %f", m)
+	}
+	if v := Variance(xs); !almost(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %f", v)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("empty-input conventions violated")
+	}
+}
+
+func TestMedianPercentile(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("Median odd = %f", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("Median even = %f", m)
+	}
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := Percentile(xs, 0); p != 1 {
+		t.Errorf("P0 = %f", p)
+	}
+	if p := Percentile(xs, 100); p != 10 {
+		t.Errorf("P100 = %f", p)
+	}
+	if p := Percentile(xs, 50); p != 5.5 {
+		t.Errorf("P50 = %f", p)
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile must be 0")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 4}
+	Percentile(xs, 50)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 4 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %f,%f", min, max)
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Error("MinMax(nil) must be 0,0")
+	}
+}
+
+func TestBaselineAndScore(t *testing.T) {
+	xs := []float64{10, 10.2, 9.8, 10.1, 9.9, 10, 10.3, 9.7}
+	b, err := FitBaseline(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(b.Median, 10, 0.11) {
+		t.Errorf("baseline median = %f", b.Median)
+	}
+	if s := b.Score(20); s < 5 {
+		t.Errorf("score of blatant outlier too small: %f", s)
+	}
+	if s := b.Score(10); math.Abs(s) > 1 {
+		t.Errorf("score of central value too large: %f", s)
+	}
+	if _, err := FitBaseline([]float64{1, 2}); err == nil {
+		t.Error("want ErrInsufficientData")
+	}
+}
+
+func TestBaselineZeroScale(t *testing.T) {
+	b, err := FitBaseline([]float64{5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := b.Score(5); s != 0 {
+		t.Errorf("score of identical value = %f", s)
+	}
+	if s := b.Score(6); !math.IsInf(s, 1) {
+		t.Errorf("score against constant baseline = %f, want +Inf", s)
+	}
+}
+
+func TestDetectAnomalies(t *testing.T) {
+	xs := make([]float64, 50)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := range xs {
+		xs[i] = 100 + rng.Float64()*2
+	}
+	xs[40] = 160 // blatant spike
+	got, err := DetectAnomalies(xs, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Index != 40 {
+		t.Fatalf("anomalies = %+v, want single hit at 40", got)
+	}
+	if got[0].Score < 5 {
+		t.Errorf("anomaly score = %f", got[0].Score)
+	}
+	if _, err := DetectAnomalies(xs, 49, 3); err != nil {
+		t.Errorf("trainN=49 should be fine: %v", err)
+	}
+	if _, err := DetectAnomalies(xs, 50, 3); err == nil {
+		t.Error("trainN=len must fail")
+	}
+}
+
+func TestDetectShift(t *testing.T) {
+	xs := make([]float64, 60)
+	rng := rand.New(rand.NewPCG(3, 4))
+	for i := range xs {
+		xs[i] = 50 + rng.Float64()
+		if i >= 36 {
+			xs[i] += 30 // level shift at 36
+		}
+	}
+	cp, err := DetectShift(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Index < 34 || cp.Index > 38 {
+		t.Errorf("changepoint at %d, want ≈36", cp.Index)
+	}
+	if !cp.Signif {
+		t.Errorf("shift not significant: p=%g", cp.PValue)
+	}
+	if cp.Shift < 25 || cp.Shift > 35 {
+		t.Errorf("shift = %f, want ≈30", cp.Shift)
+	}
+}
+
+func TestDetectShiftNoShift(t *testing.T) {
+	xs := make([]float64, 40)
+	rng := rand.New(rand.NewPCG(9, 9))
+	for i := range xs {
+		xs[i] = 10 + rng.Float64()
+	}
+	cp, err := DetectShift(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Signif && cp.Magnitude > 1 {
+		t.Errorf("found large significant shift in noise: %+v", cp)
+	}
+	if _, err := DetectShift([]float64{1, 2, 3}, 5); err == nil {
+		t.Error("short series must fail")
+	}
+}
+
+func TestWelchTTest(t *testing.T) {
+	a := []float64{10, 10.5, 9.5, 10.2, 9.8, 10.1, 9.9, 10.4}
+	b := []float64{15, 15.5, 14.5, 15.2, 14.8, 15.1, 14.9, 15.4}
+	tt, p, err := WelchTTest(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt < 10 {
+		t.Errorf("t = %f, want large", tt)
+	}
+	if p > 1e-6 {
+		t.Errorf("p = %g, want tiny", p)
+	}
+	// Same distribution: p should be large.
+	_, p, err = WelchTTest(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.9 {
+		t.Errorf("self-test p = %g, want ≈1", p)
+	}
+	if _, _, err := WelchTTest([]float64{1}, a); err == nil {
+		t.Error("want error for tiny sample")
+	}
+}
+
+func TestStudentTCDF(t *testing.T) {
+	// Known quantiles: t(df=10) P(T<=1.812) ≈ 0.95.
+	if got := studentTCDF(1.812, 10); !almost(got, 0.95, 0.005) {
+		t.Errorf("tCDF(1.812,10) = %f", got)
+	}
+	if got := studentTCDF(0, 7); !almost(got, 0.5, 1e-9) {
+		t.Errorf("tCDF(0,7) = %f", got)
+	}
+	if got := studentTCDF(-1.812, 10); !almost(got, 0.05, 0.005) {
+		t.Errorf("tCDF(-1.812,10) = %f", got)
+	}
+}
+
+func TestPearsonSpearman(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if r, _ := Pearson(a, b); !almost(r, 1, 1e-12) {
+		t.Errorf("Pearson linear = %f", r)
+	}
+	c := []float64{10, 8, 6, 4, 2}
+	if r, _ := Pearson(a, c); !almost(r, -1, 1e-12) {
+		t.Errorf("Pearson inverse = %f", r)
+	}
+	// Monotone nonlinear: Spearman 1, Pearson < 1.
+	d := []float64{1, 8, 27, 64, 125}
+	rs, _ := Spearman(a, d)
+	rp, _ := Pearson(a, d)
+	if !almost(rs, 1, 1e-12) {
+		t.Errorf("Spearman monotone = %f", rs)
+	}
+	if rp >= 1 {
+		t.Errorf("Pearson cubic = %f, want < 1", rp)
+	}
+	if r, _ := Pearson(a, []float64{3, 3, 3, 3, 3}); r != 0 {
+		t.Errorf("constant series correlation = %f", r)
+	}
+	if _, err := Pearson(a, []float64{1}); err == nil {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestSpearmanTies(t *testing.T) {
+	a := []float64{1, 2, 2, 3}
+	b := []float64{1, 2, 2, 3}
+	if r, _ := Spearman(a, b); !almost(r, 1, 1e-12) {
+		t.Errorf("Spearman with ties = %f", r)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if r, _ := KendallTau(a, a); !almost(r, 1, 1e-12) {
+		t.Errorf("tau identity = %f", r)
+	}
+	b := []float64{4, 3, 2, 1}
+	if r, _ := KendallTau(a, b); !almost(r, -1, 1e-12) {
+		t.Errorf("tau reversed = %f", r)
+	}
+}
+
+func TestJaccard(t *testing.T) {
+	if j := Jaccard([]string{"a", "b"}, []string{"b", "c"}); !almost(j, 1.0/3.0, 1e-12) {
+		t.Errorf("Jaccard = %f", j)
+	}
+	if j := Jaccard(nil, nil); j != 1 {
+		t.Errorf("Jaccard empty = %f", j)
+	}
+	if j := Jaccard([]string{"a"}, nil); j != 0 {
+		t.Errorf("Jaccard disjoint-empty = %f", j)
+	}
+	if j := Jaccard([]string{"a", "a", "b"}, []string{"a", "b"}); j != 1 {
+		t.Errorf("Jaccard dupes = %f", j)
+	}
+}
+
+func TestCombineEvidence(t *testing.T) {
+	if c := CombineEvidence(0.5, 0.5); !almost(c, 0.75, 1e-12) {
+		t.Errorf("noisy-OR = %f", c)
+	}
+	if c := CombineEvidence(); c != 0 {
+		t.Errorf("no evidence = %f", c)
+	}
+	if c := CombineEvidence(1, 0.1); c != 1 {
+		t.Errorf("certain evidence = %f", c)
+	}
+	if c := CombineEvidence(-5, 2); c != 1 {
+		t.Errorf("clamping failed: %f", c)
+	}
+}
+
+func TestQuickProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 150}
+	// Mean is bounded by min/max.
+	if err := quick.Check(func(xs []float64) bool {
+		clean := sanitize(xs)
+		if len(clean) == 0 {
+			return true
+		}
+		min, max := MinMax(clean)
+		m := Mean(clean)
+		return m >= min-1e-9 && m <= max+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Variance is non-negative.
+	if err := quick.Check(func(xs []float64) bool {
+		return Variance(sanitize(xs)) >= 0
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Pearson is within [-1, 1].
+	if err := quick.Check(func(pairs []float64) bool {
+		clean := sanitize(pairs)
+		if len(clean) < 4 {
+			return true
+		}
+		n := len(clean) / 2
+		r, err := Pearson(clean[:n], clean[n:2*n])
+		return err == nil && r >= -1-1e-9 && r <= 1+1e-9
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// Jaccard is symmetric.
+	if err := quick.Check(func(a, b []string) bool {
+		return almost(Jaccard(a, b), Jaccard(b, a), 1e-12)
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// CombineEvidence stays in [0,1] and is monotone in added evidence.
+	if err := quick.Check(func(a, b float64) bool {
+		ca := CombineEvidence(math.Abs(math.Mod(a, 1)))
+		cab := CombineEvidence(math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1)))
+		return ca >= 0 && ca <= 1 && cab >= ca-1e-12
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// sanitize drops NaN/Inf and clamps magnitude so quick-generated floats
+// don't overflow intermediate arithmetic.
+func sanitize(xs []float64) []float64 {
+	var out []float64
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e12 {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+func BenchmarkDetectShift(b *testing.B) {
+	xs := make([]float64, 200)
+	rng := rand.New(rand.NewPCG(1, 1))
+	for i := range xs {
+		xs[i] = 10 + rng.Float64()
+		if i > 120 {
+			xs[i] += 5
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectShift(xs, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitBaseline(b *testing.B) {
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = float64(i % 17)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitBaseline(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

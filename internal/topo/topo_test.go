@@ -1,0 +1,250 @@
+package topo
+
+import (
+	"testing"
+
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+)
+
+func testWorld(t testing.TB) *netsim.World {
+	t.Helper()
+	w, err := netsim.Generate(netsim.SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestCustomerCone(t *testing.T) {
+	w := testWorld(t)
+	cones := ConeSizes(w)
+	// Tier-1 cones must dominate stub cones.
+	var maxStub, minT1 int
+	minT1 = 1 << 30
+	for _, a := range w.ASes {
+		switch a.Tier {
+		case netsim.Stub:
+			if cones[a.ASN] > maxStub {
+				maxStub = cones[a.ASN]
+			}
+		case netsim.Tier1:
+			if cones[a.ASN] < minT1 {
+				minT1 = cones[a.ASN]
+			}
+		}
+	}
+	if maxStub != 0 {
+		t.Errorf("a stub has a non-empty customer cone: %d", maxStub)
+	}
+	if minT1 == 0 {
+		t.Error("a tier-1 has an empty customer cone")
+	}
+}
+
+func TestCustomerConeExcludesSelfAndSorted(t *testing.T) {
+	w := testWorld(t)
+	for _, a := range w.ASes {
+		cone := CustomerCone(w, a.ASN)
+		for i, c := range cone {
+			if c == a.ASN {
+				t.Fatalf("cone of %d contains itself", a.ASN)
+			}
+			if i > 0 && cone[i-1] >= c {
+				t.Fatalf("cone of %d not sorted", a.ASN)
+			}
+		}
+	}
+}
+
+func TestDependencyGraph(t *testing.T) {
+	w := testWorld(t)
+	deps := DependencyGraph(w)
+	if len(deps) == 0 {
+		t.Fatal("no dependencies")
+	}
+	// Weights per customer must sum to 1.
+	sums := map[netsim.ASN]float64{}
+	for _, d := range deps {
+		if d.Weight <= 0 || d.Weight > 1 {
+			t.Errorf("weight out of range: %+v", d)
+		}
+		sums[d.From] += d.Weight
+	}
+	for from, s := range sums {
+		if s < 0.999 || s > 1.001 {
+			t.Errorf("weights of %d sum to %f", from, s)
+		}
+	}
+	// Sorted by (From, To).
+	for i := 1; i < len(deps); i++ {
+		a, b := deps[i-1], deps[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("dependency graph not sorted")
+		}
+	}
+}
+
+func TestPropagateStressNoFailure(t *testing.T) {
+	w := testWorld(t)
+	res := PropagateStress(w, nil, 0.5, 10)
+	if len(res.Degraded) != 0 || res.Rounds != 0 {
+		t.Errorf("healthy world degraded: %+v", res.Degraded)
+	}
+	for asn, s := range res.Stress {
+		if s != 0 {
+			t.Errorf("AS %d has stress %f in healthy world", asn, s)
+		}
+	}
+}
+
+func TestPropagateStressDirectFailure(t *testing.T) {
+	w := testWorld(t)
+	// Fail every inter-AS link of one stub: it must degrade in wave 0.
+	var stub netsim.ASN
+	for _, a := range w.ASes {
+		if a.Tier == netsim.Stub {
+			stub = a.ASN
+			break
+		}
+	}
+	failed := map[netsim.LinkID]bool{}
+	for _, l := range w.IPLinks {
+		if !l.IntraAS && (l.ASLinkAB[0] == stub || l.ASLinkAB[1] == stub) {
+			failed[l.ID] = true
+		}
+	}
+	res := PropagateStress(w, failed, 0.99, 10)
+	if len(res.Waves) == 0 {
+		t.Fatal("no waves")
+	}
+	found := false
+	for _, a := range res.Waves[0] {
+		if a == stub {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("isolated stub %d not in wave 0: %v", stub, res.Waves[0])
+	}
+}
+
+func TestPropagateStressCascades(t *testing.T) {
+	w := testWorld(t)
+	// Low threshold: failing a large share of submarine links should
+	// produce multi-round propagation in a connected topology.
+	failed := map[netsim.LinkID]bool{}
+	for _, l := range w.SubmarineLinks() {
+		failed[l.ID] = true
+	}
+	res := PropagateStress(w, failed, 0.3, 20)
+	if len(res.Degraded) == 0 {
+		t.Fatal("mass submarine failure degraded nobody at threshold 0.3")
+	}
+	// Waves must be disjoint.
+	seen := map[netsim.ASN]bool{}
+	for _, wave := range res.Waves {
+		for _, a := range wave {
+			if seen[a] {
+				t.Fatalf("AS %d appears in two waves", a)
+			}
+			seen[a] = true
+		}
+	}
+	// Stress values within [0,1].
+	for asn, s := range res.Stress {
+		if s < 0 || s > 1 {
+			t.Errorf("AS %d stress %f out of range", asn, s)
+		}
+	}
+	// Monotonicity: higher threshold degrades a subset.
+	strict := PropagateStress(w, failed, 0.8, 20)
+	if len(strict.Degraded) > len(res.Degraded) {
+		t.Errorf("higher threshold degraded more ASes: %d > %d", len(strict.Degraded), len(res.Degraded))
+	}
+}
+
+func setupCascade(t testing.TB) (*nautilus.Catalog, *nautilus.CrossLayerMap) {
+	t.Helper()
+	w := testWorld(t)
+	cat := nautilus.BuildCatalog()
+	m, err := nautilus.MapWorld(w, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat, m
+}
+
+func TestCascadeCablesInitialOnly(t *testing.T) {
+	cat, m := setupCascade(t)
+	// Huge capacity factor: no overload cascade possible.
+	res := CascadeCables(cat, m, []nautilus.CableID{"seamewe-5"}, 100)
+	if len(res.Rounds) != 1 {
+		t.Fatalf("rounds = %d, want 1", len(res.Rounds))
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != "seamewe-5" {
+		t.Errorf("failed = %v", res.Failed)
+	}
+	if _, ok := res.FinalLoad["seamewe-5"]; ok {
+		t.Error("failed cable has final load")
+	}
+}
+
+func TestCascadeCablesOverload(t *testing.T) {
+	cat, m := setupCascade(t)
+	// Tight capacity: failing the whole Europe-Asia corridor's biggest
+	// carrier should overload parallels.
+	loose := CascadeCables(cat, m, []nautilus.CableID{"seamewe-5", "aae-1", "seamewe-4"}, 50)
+	tight := CascadeCables(cat, m, []nautilus.CableID{"seamewe-5", "aae-1", "seamewe-4"}, 1.05)
+	if len(tight.Failed) < len(loose.Failed) {
+		t.Errorf("tight capacity failed fewer cables (%d) than loose (%d)", len(tight.Failed), len(loose.Failed))
+	}
+	if len(tight.Failed) == len(loose.Failed) {
+		t.Skip("corridor load too small to trigger overload in this world")
+	}
+	if len(tight.Rounds) < 2 {
+		t.Errorf("tight cascade has %d rounds, want >= 2", len(tight.Rounds))
+	}
+	for id, over := range tight.Overloaded {
+		if over <= 0 {
+			t.Errorf("cable %s recorded non-positive overload", id)
+		}
+	}
+}
+
+func TestCascadeCablesDedupesInitial(t *testing.T) {
+	cat, m := setupCascade(t)
+	res := CascadeCables(cat, m, []nautilus.CableID{"marea", "marea"}, 10)
+	if len(res.Rounds[0]) != 1 {
+		t.Errorf("initial round = %v, want single marea", res.Rounds[0])
+	}
+}
+
+func TestCascadeCablesClampsCapacity(t *testing.T) {
+	cat, m := setupCascade(t)
+	// capacityFactor below 1 must not fail every cable immediately.
+	res := CascadeCables(cat, m, []nautilus.CableID{"marea"}, 0.1)
+	if len(res.Failed) == cat.Len() {
+		t.Error("clamped capacity still failed the entire catalog")
+	}
+}
+
+func BenchmarkPropagateStress(b *testing.B) {
+	w := testWorld(b)
+	failed := map[netsim.LinkID]bool{}
+	for _, l := range w.SubmarineLinks() {
+		failed[l.ID] = true
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PropagateStress(w, failed, 0.3, 20)
+	}
+}
+
+func BenchmarkCascadeCables(b *testing.B) {
+	cat, m := setupCascade(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CascadeCables(cat, m, []nautilus.CableID{"seamewe-5", "aae-1"}, 1.1)
+	}
+}

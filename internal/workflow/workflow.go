@@ -1,0 +1,326 @@
+// Package workflow implements ArachNet's executable workflow model: a
+// typed DAG of capability invocations with static validation, an
+// execution engine with provenance recording, and the quality-check
+// machinery SolutionWeaver weaves into generated solutions.
+package workflow
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"arachnet/internal/registry"
+)
+
+// Binding wires one input port of a step to either a literal value or
+// to an output of an earlier step (Ref in "stepID.port" form). Exactly
+// one of the two must be set.
+type Binding struct {
+	Literal any
+	Ref     string
+}
+
+// IsRef reports whether the binding references another step's output.
+func (b Binding) IsRef() bool { return b.Ref != "" }
+
+// Lit makes a literal binding.
+func Lit(v any) Binding { return Binding{Literal: v} }
+
+// Ref makes a reference binding to step "id" output "port".
+func Ref(id, port string) Binding { return Binding{Ref: id + "." + port} }
+
+// Step is one capability invocation inside a workflow.
+type Step struct {
+	ID         string
+	Capability string
+	Inputs     map[string]Binding
+	// Phase labels the step for reporting ("mapping", "impact",
+	// "temporal", "synthesis", ...).
+	Phase string
+	// Note is a free-form design annotation carried into generated code.
+	Note string
+}
+
+// QualityKind classifies embedded quality checks.
+type QualityKind string
+
+// Quality-check kinds, mirroring the paper's SolutionWeaver description:
+// consistency verification across data sources, sanity checking of
+// results, and uncertainty quantification.
+const (
+	CheckConsistency QualityKind = "consistency"
+	CheckSanity      QualityKind = "sanity"
+	CheckUncertainty QualityKind = "uncertainty"
+)
+
+// QualityCheck is a non-fatal assertion over a produced value.
+type QualityCheck struct {
+	Name   string
+	Kind   QualityKind
+	Ref    string // "stepID.port" to inspect
+	Assert func(v any) (ok bool, note string)
+}
+
+// Workflow is an ordered list of steps; references must point backward,
+// which makes the graph acyclic by construction.
+type Workflow struct {
+	Name    string
+	Query   string
+	Steps   []Step
+	Outputs map[string]string // result name → "stepID.port"
+	Checks  []QualityCheck
+}
+
+// Frameworks returns the distinct frameworks the workflow touches,
+// sorted — the integration-breadth metric the paper reports per case
+// study.
+func (w *Workflow) Frameworks(reg *registry.Registry) []string {
+	set := map[string]bool{}
+	for _, s := range w.Steps {
+		if c, err := reg.Get(s.Capability); err == nil {
+			set[c.Framework] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for f := range set {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CapabilityNames returns the capability of each step in order.
+func (w *Workflow) CapabilityNames() []string {
+	out := make([]string, len(w.Steps))
+	for i, s := range w.Steps {
+		out[i] = s.Capability
+	}
+	return out
+}
+
+// Validation errors.
+var (
+	ErrEmptyWorkflow = errors.New("workflow: no steps")
+	ErrUnknownCap    = errors.New("workflow: unknown capability")
+	ErrBadRef        = errors.New("workflow: unresolved reference")
+	ErrTypeMismatch  = errors.New("workflow: type mismatch")
+	ErrUnboundInput  = errors.New("workflow: required input unbound")
+	ErrDuplicateStep = errors.New("workflow: duplicate step id")
+)
+
+// Validate statically checks the workflow against a registry: step IDs
+// unique, capabilities known, every required input bound, references
+// resolving to earlier steps with matching port types, and declared
+// outputs resolvable.
+func (w *Workflow) Validate(reg *registry.Registry) error {
+	if len(w.Steps) == 0 {
+		return ErrEmptyWorkflow
+	}
+	produced := map[string]registry.DataType{} // "step.port" → type
+	seen := map[string]bool{}
+	for i, s := range w.Steps {
+		if s.ID == "" {
+			return fmt.Errorf("workflow: step %d has empty id", i)
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("%w: %q", ErrDuplicateStep, s.ID)
+		}
+		seen[s.ID] = true
+		cap, err := reg.Get(s.Capability)
+		if err != nil {
+			return fmt.Errorf("%w: step %q wants %q", ErrUnknownCap, s.ID, s.Capability)
+		}
+		for _, in := range cap.Inputs {
+			b, bound := s.Inputs[in.Name]
+			if !bound {
+				if in.Optional {
+					continue
+				}
+				return fmt.Errorf("%w: step %q input %q", ErrUnboundInput, s.ID, in.Name)
+			}
+			if b.IsRef() {
+				srcType, ok := produced[b.Ref]
+				if !ok {
+					return fmt.Errorf("%w: step %q input %q references %q", ErrBadRef, s.ID, in.Name, b.Ref)
+				}
+				if srcType != in.Type {
+					return fmt.Errorf("%w: step %q input %q wants %s, ref %q provides %s",
+						ErrTypeMismatch, s.ID, in.Name, in.Type, b.Ref, srcType)
+				}
+			}
+		}
+		// Unknown extra bindings are an authoring bug.
+		for name := range s.Inputs {
+			if _, ok := cap.InputPort(name); !ok {
+				return fmt.Errorf("workflow: step %q binds unknown input %q of %q", s.ID, name, s.Capability)
+			}
+		}
+		for _, out := range cap.Outputs {
+			produced[s.ID+"."+out.Name] = out.Type
+		}
+	}
+	for name, ref := range w.Outputs {
+		if _, ok := produced[ref]; !ok {
+			return fmt.Errorf("%w: workflow output %q references %q", ErrBadRef, name, ref)
+		}
+	}
+	for _, chk := range w.Checks {
+		if _, ok := produced[chk.Ref]; !ok {
+			return fmt.Errorf("%w: quality check %q references %q", ErrBadRef, chk.Name, chk.Ref)
+		}
+		if chk.Assert == nil {
+			return fmt.Errorf("workflow: quality check %q has no assertion", chk.Name)
+		}
+	}
+	return nil
+}
+
+// StepStat records one executed step.
+type StepStat struct {
+	ID         string
+	Capability string
+	Duration   time.Duration
+	Err        error
+}
+
+// CheckResult records one evaluated quality check.
+type CheckResult struct {
+	Name   string
+	Kind   QualityKind
+	Passed bool
+	Note   string
+}
+
+// Result is the outcome of a workflow run.
+type Result struct {
+	// Values holds every produced "stepID.port" value.
+	Values map[string]any
+	// Outputs resolves the workflow's declared outputs by name.
+	Outputs map[string]any
+	// Steps records per-step execution stats in order.
+	Steps []StepStat
+	// Checks records quality-check outcomes in order.
+	Checks []CheckResult
+	// Provenance is a human-readable execution trace.
+	Provenance []string
+}
+
+// QualityScore returns the fraction of passed checks (1 when none).
+func (r *Result) QualityScore() float64 {
+	if len(r.Checks) == 0 {
+		return 1
+	}
+	passed := 0
+	for _, c := range r.Checks {
+		if c.Passed {
+			passed++
+		}
+	}
+	return float64(passed) / float64(len(r.Checks))
+}
+
+// Engine executes validated workflows against a registry and a shared
+// environment value passed to every capability call.
+type Engine struct {
+	reg *registry.Registry
+	env any
+}
+
+// NewEngine builds an engine.
+func NewEngine(reg *registry.Registry, env any) *Engine {
+	return &Engine{reg: reg, env: env}
+}
+
+// Run validates and executes the workflow. Execution is sequential in
+// step order (references only point backward). A step error aborts the
+// run and is returned wrapped with the step ID; quality checks never
+// abort.
+func (e *Engine) Run(w *Workflow) (*Result, error) {
+	if err := w.Validate(e.reg); err != nil {
+		return nil, err
+	}
+	res := &Result{Values: map[string]any{}, Outputs: map[string]any{}}
+	for _, s := range w.Steps {
+		cap, _ := e.reg.Get(s.Capability)
+		call := &registry.Call{In: map[string]any{}, Out: map[string]any{}, Env: e.env}
+		for name, b := range s.Inputs {
+			if b.IsRef() {
+				call.In[name] = res.Values[b.Ref]
+			} else {
+				call.In[name] = b.Literal
+			}
+		}
+		start := time.Now()
+		err := cap.Impl(call)
+		stat := StepStat{ID: s.ID, Capability: s.Capability, Duration: time.Since(start), Err: err}
+		res.Steps = append(res.Steps, stat)
+		if err != nil {
+			res.Provenance = append(res.Provenance, fmt.Sprintf("step %s (%s): FAILED: %v", s.ID, s.Capability, err))
+			return res, fmt.Errorf("workflow: step %q (%s): %w", s.ID, s.Capability, err)
+		}
+		// Verify the implementation honored its contract.
+		for _, out := range cap.Outputs {
+			v, ok := call.Out[out.Name]
+			if !ok {
+				return res, fmt.Errorf("workflow: step %q: capability %q did not produce output %q",
+					s.ID, s.Capability, out.Name)
+			}
+			res.Values[s.ID+"."+out.Name] = v
+		}
+		res.Provenance = append(res.Provenance,
+			fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, stat.Duration.Round(time.Microsecond)))
+	}
+	for name, ref := range w.Outputs {
+		res.Outputs[name] = res.Values[ref]
+	}
+	for _, chk := range w.Checks {
+		ok, note := chk.Assert(res.Values[chk.Ref])
+		res.Checks = append(res.Checks, CheckResult{Name: chk.Name, Kind: chk.Kind, Passed: ok, Note: note})
+		status := "pass"
+		if !ok {
+			status = "FAIL"
+		}
+		res.Provenance = append(res.Provenance, fmt.Sprintf("check %s [%s]: %s %s", chk.Name, chk.Kind, status, note))
+	}
+	return res, nil
+}
+
+// Describe renders a compact human-readable plan of the workflow.
+func (w *Workflow) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow %q (%d steps)\n", w.Name, len(w.Steps))
+	for i, s := range w.Steps {
+		fmt.Fprintf(&b, "  %2d. [%s] %s", i+1, s.ID, s.Capability)
+		if s.Phase != "" {
+			fmt.Fprintf(&b, "  phase=%s", s.Phase)
+		}
+		b.WriteByte('\n')
+		names := make([]string, 0, len(s.Inputs))
+		for n := range s.Inputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			bd := s.Inputs[n]
+			if bd.IsRef() {
+				fmt.Fprintf(&b, "        %s ← %s\n", n, bd.Ref)
+			} else {
+				fmt.Fprintf(&b, "        %s = %v\n", n, bd.Literal)
+			}
+		}
+	}
+	if len(w.Outputs) > 0 {
+		names := make([]string, 0, len(w.Outputs))
+		for n := range w.Outputs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		b.WriteString("  outputs:\n")
+		for _, n := range names {
+			fmt.Fprintf(&b, "        %s ← %s\n", n, w.Outputs[n])
+		}
+	}
+	return b.String()
+}

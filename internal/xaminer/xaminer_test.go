@@ -1,0 +1,369 @@
+package xaminer
+
+import (
+	"math"
+	"testing"
+
+	"arachnet/internal/geo"
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+)
+
+func setup(t testing.TB) *Analyzer {
+	t.Helper()
+	w, err := netsim.Generate(netsim.SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := nautilus.BuildCatalog()
+	m, err := nautilus.MapWorld(w, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewAnalyzer(w, cat, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAnalyzerNilWorld(t *testing.T) {
+	if _, err := NewAnalyzer(nil, nil, nil); err == nil {
+		t.Error("nil world must error")
+	}
+}
+
+func TestFailCables(t *testing.T) {
+	a := setup(t)
+	m := a.Map()
+	var anyCable nautilus.CableID
+	for c, links := range m.CableLinks {
+		if len(links) > 0 {
+			anyCable = c
+			break
+		}
+	}
+	if anyCable == "" {
+		t.Skip("no cable carries links in this world")
+	}
+	failed := FailCables(m, anyCable)
+	if len(failed) != len(m.LinksOn(anyCable)) {
+		t.Errorf("failed %d links, cable carries %d", len(failed), len(m.LinksOn(anyCable)))
+	}
+	if len(FailCables(m)) != 0 {
+		t.Error("no cables must fail no links")
+	}
+}
+
+func TestAnalyzeLinkFailuresEmpty(t *testing.T) {
+	a := setup(t)
+	rep := a.AnalyzeLinkFailures("empty", nil, false)
+	if rep.FailedLinks != 0 || len(rep.Countries) != 0 {
+		t.Errorf("empty scenario produced impact: %+v", rep)
+	}
+}
+
+func TestAnalyzeLinkFailuresBasic(t *testing.T) {
+	a := setup(t)
+	w := a.World()
+	// Fail one specific cross-border link and check attribution.
+	var victim netsim.IPLink
+	for _, l := range w.IPLinks {
+		ca, cb := w.LinkEndpoints(l)
+		if ca != cb {
+			victim = l
+			break
+		}
+	}
+	rep := a.AnalyzeLinkFailures("one-link", map[netsim.LinkID]bool{victim.ID: true}, false)
+	if rep.FailedLinks != 1 {
+		t.Errorf("FailedLinks = %d", rep.FailedLinks)
+	}
+	ca, cb := w.LinkEndpoints(victim)
+	got := map[string]bool{}
+	for _, ci := range rep.Countries {
+		got[ci.Country] = true
+		if ci.Score <= 0 || ci.Score > 1 {
+			t.Errorf("country %s score %f out of range", ci.Country, ci.Score)
+		}
+		if ci.LinksLost > float64(ci.LinksTotal) {
+			t.Errorf("country %s lost more links than it has", ci.Country)
+		}
+	}
+	if !got[ca] || !got[cb] {
+		t.Errorf("impact countries %v missing endpoints %s/%s", got, ca, cb)
+	}
+}
+
+func TestAnalyzeCableFailureSeaMeWe5(t *testing.T) {
+	a := setup(t)
+	rep, err := a.AnalyzeCableFailure(false, "seamewe-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FailedLinks == 0 {
+		t.Skip("seamewe-5 carries no links in this small world")
+	}
+	// Impacted countries must be on the SeaMeWe-5 corridor or adjacent.
+	cable, _ := a.Catalog().ByID("seamewe-5")
+	corridor := map[string]bool{}
+	for _, cc := range cable.Countries() {
+		corridor[cc] = true
+	}
+	onCorridor := 0
+	for _, ci := range rep.Countries {
+		if corridor[ci.Country] {
+			onCorridor++
+		}
+	}
+	if onCorridor == 0 {
+		t.Errorf("no impacted country on the cable corridor: %v", rep.TopCountries(10))
+	}
+}
+
+func TestAnalyzeCableFailureUnknown(t *testing.T) {
+	a := setup(t)
+	if _, err := a.AnalyzeCableFailure(false, "no-such-cable"); err == nil {
+		t.Error("unknown cable must error")
+	}
+}
+
+func TestReachabilityLossMonotone(t *testing.T) {
+	a := setup(t)
+	w := a.World()
+	// Isolating a stub must produce strictly positive reachability loss.
+	var stub netsim.ASN
+	for _, as := range w.ASes {
+		if as.Tier == netsim.Stub {
+			stub = as.ASN
+			break
+		}
+	}
+	failed := map[netsim.LinkID]bool{}
+	for _, l := range w.IPLinks {
+		if !l.IntraAS && (l.ASLinkAB[0] == stub || l.ASLinkAB[1] == stub) {
+			failed[l.ID] = true
+		}
+	}
+	rep := a.AnalyzeLinkFailures("isolate-stub", failed, true)
+	if rep.ReachabilityLossPct <= 0 {
+		t.Errorf("no reachability loss after isolating a stub: %f", rep.ReachabilityLossPct)
+	}
+	if rep.ReachabilityLossPct > 100 {
+		t.Errorf("loss over 100%%: %f", rep.ReachabilityLossPct)
+	}
+}
+
+func TestTopCountriesAndScoreLookup(t *testing.T) {
+	a := setup(t)
+	w := a.World()
+	failed := map[netsim.LinkID]bool{}
+	for _, l := range w.SubmarineLinks() {
+		failed[l.ID] = true
+	}
+	rep := a.AnalyzeLinkFailures("all-submarine", failed, false)
+	if len(rep.Countries) < 3 {
+		t.Fatalf("too few impacted countries: %d", len(rep.Countries))
+	}
+	top := rep.TopCountries(3)
+	if len(top) != 3 {
+		t.Fatalf("TopCountries(3) = %v", top)
+	}
+	// Sorted descending.
+	for i := 1; i < len(rep.Countries); i++ {
+		if rep.Countries[i-1].Score < rep.Countries[i].Score {
+			t.Fatal("countries not sorted by score")
+		}
+	}
+	if s := rep.CountryScore(top[0]); s != rep.Countries[0].Score {
+		t.Errorf("CountryScore(top) = %f, want %f", s, rep.Countries[0].Score)
+	}
+	if s := rep.CountryScore("ZZ"); s != 0 {
+		t.Errorf("CountryScore(unknown) = %f", s)
+	}
+	if got := rep.TopCountries(10000); len(got) != len(rep.Countries) {
+		t.Error("TopCountries should clamp")
+	}
+}
+
+func TestProcessEventTohoku(t *testing.T) {
+	a := setup(t)
+	ev := SevereEarthquakes()[0] // tohoku-offshore
+	im, err := a.ProcessEvent(ev, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(im.RoutersAtRisk) == 0 {
+		t.Fatal("Tohoku event puts no routers at risk (JP is in the world)")
+	}
+	// Every at-risk router must be within the radius.
+	for _, id := range im.RoutersAtRisk {
+		r, _ := a.World().RouterByID(id)
+		if d := geo.DistanceKm(r.Loc, ev.Epicenter); d > ev.RadiusKm {
+			t.Errorf("router %d at %f km, radius %f", id, d, ev.RadiusKm)
+		}
+	}
+	if want := 0.10 * float64(len(im.LinksAtRisk)); math.Abs(im.ExpectedLinksLost-want) > 1e-9 {
+		t.Errorf("expected links lost = %f, want %f", im.ExpectedLinksLost, want)
+	}
+	// Japan must appear among impacted countries.
+	foundJP := false
+	for _, ci := range im.Countries {
+		if ci.Country == "JP" {
+			foundJP = true
+		}
+	}
+	if !foundJP {
+		t.Error("JP missing from Tohoku impact")
+	}
+}
+
+func TestProcessEventValidation(t *testing.T) {
+	a := setup(t)
+	ev := SevereEarthquakes()[0]
+	if _, err := a.ProcessEvent(ev, -0.1); err == nil {
+		t.Error("negative probability must error")
+	}
+	if _, err := a.ProcessEvent(ev, 1.1); err == nil {
+		t.Error("probability > 1 must error")
+	}
+	bad := ev
+	bad.RadiusKm = 0
+	if _, err := a.ProcessEvent(bad, 0.1); err == nil {
+		t.Error("zero radius must error")
+	}
+}
+
+func TestProcessEventProbabilityScaling(t *testing.T) {
+	a := setup(t)
+	ev := SevereHurricanes()[0]
+	lo, err := a.ProcessEvent(ev, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := a.ProcessEvent(ev, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lo.LinksAtRisk) != len(hi.LinksAtRisk) {
+		t.Error("at-risk set must not depend on probability")
+	}
+	if hi.ExpectedLinksLost < lo.ExpectedLinksLost {
+		t.Error("expected loss must scale with probability")
+	}
+	if len(lo.LinksAtRisk) > 0 && math.Abs(hi.ExpectedLinksLost/lo.ExpectedLinksLost-5) > 1e-9 {
+		t.Errorf("loss ratio = %f, want 5", hi.ExpectedLinksLost/lo.ExpectedLinksLost)
+	}
+}
+
+func TestSampleEventConvergesToExpectation(t *testing.T) {
+	a := setup(t)
+	ev := SevereEarthquakes()[0]
+	exp, err := a.ProcessEvent(ev, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exp.LinksAtRisk) == 0 {
+		t.Skip("no at-risk links for this seed")
+	}
+	rep, err := a.SampleEvent(ev, 0.2, 400, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean failed links across samples ≈ expectation.
+	want := exp.ExpectedLinksLost
+	got := float64(rep.FailedLinks)
+	if math.Abs(got-want) > want*0.5+1 {
+		t.Errorf("MC mean failed links = %f, expectation %f", got, want)
+	}
+	if _, err := a.SampleEvent(ev, 0.2, 0, 1); err == nil {
+		t.Error("zero samples must error")
+	}
+}
+
+func TestEventCatalogs(t *testing.T) {
+	eq := SevereEarthquakes()
+	hu := SevereHurricanes()
+	if len(eq) < 5 || len(hu) < 5 {
+		t.Fatalf("catalogs too small: %d, %d", len(eq), len(hu))
+	}
+	seen := map[string]bool{}
+	for _, ev := range append(eq, hu...) {
+		if seen[ev.Name] {
+			t.Errorf("duplicate event %s", ev.Name)
+		}
+		seen[ev.Name] = true
+		if !ev.Epicenter.Valid() || ev.RadiusKm <= 0 || ev.Severity <= 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+	for _, ev := range eq {
+		if ev.Type != Earthquake {
+			t.Errorf("%s mis-typed", ev.Name)
+		}
+	}
+	for _, ev := range hu {
+		if ev.Type != Hurricane {
+			t.Errorf("%s mis-typed", ev.Name)
+		}
+	}
+}
+
+func TestCombineEventImpacts(t *testing.T) {
+	a := setup(t)
+	var impacts []EventImpact
+	for _, ev := range SevereEarthquakes()[:3] {
+		im, err := a.ProcessEvent(ev, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		impacts = append(impacts, im)
+	}
+	g := CombineEventImpacts(a, impacts)
+	if len(g.Events) != 3 {
+		t.Errorf("events = %v", g.Events)
+	}
+	var sum float64
+	for _, im := range impacts {
+		sum += im.ExpectedLinksLost
+	}
+	if math.Abs(g.ExpectedLinksLost-sum) > 1e-9 {
+		t.Errorf("combined loss %f != sum %f", g.ExpectedLinksLost, sum)
+	}
+	for i := 1; i < len(g.Countries); i++ {
+		if g.Countries[i-1].Score < g.Countries[i].Score {
+			t.Fatal("combined countries not sorted")
+		}
+	}
+}
+
+func TestScoreOfClamps(t *testing.T) {
+	ci := CountryImpact{LinksLost: 10, LinksTotal: 2} // over-attribution
+	if s := scoreOf(ci); s > 1 {
+		t.Errorf("score %f exceeds 1", s)
+	}
+	if s := scoreOf(CountryImpact{}); s != 0 {
+		t.Errorf("empty score = %f", s)
+	}
+}
+
+func BenchmarkAnalyzeCableFailure(b *testing.B) {
+	a := setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.AnalyzeCableFailure(false, "seamewe-5"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessEvent(b *testing.B) {
+	a := setup(b)
+	ev := SevereEarthquakes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.ProcessEvent(ev, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
