@@ -10,11 +10,17 @@
 // cartography, Xaminer-style resilience analysis, a policy-aware BGP
 // simulator, a traceroute campaign engine, and cascade modeling.
 //
+// A System is built once and safely shared: Ask is context-first and
+// concurrency-safe, AskBatch fans a query set out over a bounded
+// worker pool, and per-call options (AskExpert, AskWithoutCuration,
+// AskTimeout, AskParallelism) let one shared System serve
+// heterogeneous requests.
+//
 // Quickstart:
 //
 //	sys, err := arachnet.New(arachnet.WithSeed(42))
 //	if err != nil { ... }
-//	report, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+//	report, err := sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-5 cable failure")
 //	if err != nil { ... }
 //	fmt.Println(report.Solution.Code)   // the generated workflow program
 //	fmt.Println(report.Result.Outputs)  // the executed analysis results
@@ -22,6 +28,7 @@ package arachnet
 
 import (
 	"fmt"
+	"time"
 
 	"arachnet/internal/agents/querymind"
 	"arachnet/internal/agents/solutionweaver"
@@ -32,6 +39,7 @@ import (
 	"arachnet/internal/geo"
 	"arachnet/internal/netsim"
 	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
 	"arachnet/internal/xaminer"
 )
 
@@ -55,10 +63,15 @@ type (
 	Call = registry.Call
 	// DataType names a value format flowing between capabilities.
 	DataType = registry.DataType
-	// Mode selects standard (automated) or expert (review-hook) operation.
-	Mode = core.Mode
+	// AskOption configures one Ask or AskBatch call.
+	AskOption = core.AskOption
 	// ReviewHook inspects artifacts between stages in expert mode.
 	ReviewHook = core.ReviewHook
+	// PipelineError is the typed failure of one Ask: stage, failing
+	// workflow step, and query. errors.Is/As see through it.
+	PipelineError = core.PipelineError
+	// StepError is the typed failure of one workflow step.
+	StepError = workflow.StepError
 	// ScenarioConfig controls forensic-scenario injection.
 	ScenarioConfig = core.ScenarioConfig
 	// ImpactReport is a per-country impact table.
@@ -86,26 +99,39 @@ type (
 	Solution = solutionweaver.Solution
 )
 
-// Operating modes.
-const (
-	Standard = core.Standard
-	Expert   = core.Expert
-)
-
-// Expert-mode stage names.
+// Pipeline stage names. The first four are passed to expert-mode
+// review hooks; all five label PipelineError.Stage (curation failures
+// are reported, not reviewed).
 const (
 	StageProblem  = core.StageProblem
 	StageDesign   = core.StageDesign
 	StageSolution = core.StageSolution
 	StageResult   = core.StageResult
+	StageCuration = core.StageCuration
 )
+
+// AskExpert runs one call in expert mode: hook reviews the artifact
+// leaving each of the four pipeline stages and may veto it.
+func AskExpert(hook ReviewHook) AskOption { return core.AskExpert(hook) }
+
+// AskWithoutCuration disables post-run registry evolution for one call
+// (curation is on by default).
+func AskWithoutCuration() AskOption { return core.AskWithoutCuration() }
+
+// AskTimeout bounds one call's wall-clock time.
+func AskTimeout(d time.Duration) AskOption { return core.AskTimeout(d) }
+
+// AskParallelism bounds concurrency: how many independent workflow
+// steps an Ask executes at once, and for AskBatch the total budget —
+// divided between concurrent queries and their steps (default
+// GOMAXPROCS).
+func AskParallelism(n int) AskOption { return core.AskParallelism(n) }
 
 // options collects construction parameters.
 type options struct {
 	world    netsim.Config
 	scenario *core.ScenarioConfig
 	registry *registry.Registry
-	sysOpts  []core.Option
 }
 
 // Option configures New.
@@ -139,20 +165,10 @@ func WithRegistry(r *Registry) Option {
 	return func(o *options) { o.registry = r }
 }
 
-// WithExpertMode enables expert mode with the given review hook.
-func WithExpertMode(hook ReviewHook) Option {
-	return func(o *options) {
-		o.sysOpts = append(o.sysOpts, core.WithMode(core.Expert), core.WithReviewHook(hook))
-	}
-}
-
-// WithoutCuration disables automatic registry evolution.
-func WithoutCuration() Option {
-	return func(o *options) { o.sysOpts = append(o.sysOpts, core.WithCuration(false)) }
-}
-
 // New assembles a ready-to-ask ArachNet system. Defaults: full-size
-// world with seed 42, builtin registry, standard mode, curation on.
+// world with seed 42, builtin registry. Serving behavior — expert
+// review, curation, timeouts, parallelism — is chosen per call with
+// AskOptions, so one System handles heterogeneous requests.
 func New(opts ...Option) (*System, error) {
 	o := &options{world: netsim.DefaultConfig(42)}
 	for _, opt := range opts {
@@ -167,7 +183,7 @@ func New(opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("arachnet: %w", err)
 		}
 	}
-	return core.NewSystem(env, o.registry, o.sysOpts...)
+	return core.NewSystem(env, o.registry)
 }
 
 // BuiltinRegistry returns the full hand-curated capability catalog.

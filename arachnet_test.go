@@ -1,12 +1,15 @@
 package arachnet_test
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
 
 	"arachnet"
 )
+
+var ctx = context.Background()
 
 func TestNewDefaults(t *testing.T) {
 	if testing.Short() {
@@ -29,7 +32,7 @@ func TestPublicQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+	rep, err := sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-5 cable failure")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,22 +83,24 @@ func TestPublicExpertComparators(t *testing.T) {
 
 func TestPublicExpertMode(t *testing.T) {
 	var stages []string
-	sys, err := arachnet.New(
-		arachnet.WithSmallWorld(7),
-		arachnet.WithExpertMode(func(stage string, artifact any) error {
+	sys, err := arachnet.New(arachnet.WithSmallWorld(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-5 cable failure",
+		arachnet.AskExpert(func(stage string, artifact any) error {
 			stages = append(stages, stage)
 			if stage == arachnet.StageSolution {
 				return errors.New("needs domain review")
 			}
 			return nil
-		}),
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+		}))
 	if err == nil || !strings.Contains(err.Error(), "needs domain review") {
 		t.Fatalf("veto not propagated: %v", err)
+	}
+	var pe *arachnet.PipelineError
+	if !errors.As(err, &pe) || pe.Stage != arachnet.StageSolution {
+		t.Errorf("err = %v, want *PipelineError at %s", err, arachnet.StageSolution)
 	}
 	want := []string{arachnet.StageProblem, arachnet.StageDesign, arachnet.StageSolution}
 	if len(stages) != len(want) {
@@ -112,7 +117,7 @@ func TestPublicRegistrySubset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+	rep, err := sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-5 cable failure")
 	if err != nil {
 		t.Fatal(err)
 	}

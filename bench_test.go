@@ -30,7 +30,7 @@ var benchQueries = map[int]string{
 
 func benchSystem(b *testing.B, scenario bool) *arachnet.System {
 	b.Helper()
-	opts := []arachnet.Option{arachnet.WithSmallWorld(7), arachnet.WithoutCuration()}
+	opts := []arachnet.Option{arachnet.WithSmallWorld(7)}
 	if scenario {
 		opts = append(opts, arachnet.WithScenario(arachnet.ScenarioConfig{Seed: 5}))
 	}
@@ -46,7 +46,7 @@ func benchCase(b *testing.B, n int, scenario bool) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Ask(benchQueries[n]); err != nil {
+		if _, err := sys.Ask(ctx, benchQueries[n], arachnet.AskWithoutCuration()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -64,7 +64,7 @@ func BenchmarkCaseStudy1(b *testing.B) {
 		b.Fatal(err)
 	}
 	sys, err := arachnet.New(
-		arachnet.WithSmallWorld(7), arachnet.WithRegistry(sub), arachnet.WithoutCuration(),
+		arachnet.WithSmallWorld(7), arachnet.WithRegistry(sub),
 	)
 	if err != nil {
 		b.Fatal(err)
@@ -72,7 +72,7 @@ func BenchmarkCaseStudy1(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Ask(benchQueries[1]); err != nil {
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -112,7 +112,7 @@ func BenchmarkRegistryCompactness(b *testing.B) {
 				}
 			}
 			sys, err := arachnet.New(
-				arachnet.WithSmallWorld(7), arachnet.WithRegistry(reg), arachnet.WithoutCuration(),
+				arachnet.WithSmallWorld(7), arachnet.WithRegistry(reg),
 			)
 			if err != nil {
 				b.Fatal(err)
@@ -120,7 +120,7 @@ func BenchmarkRegistryCompactness(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := sys.Ask(benchQueries[1]); err != nil {
+				if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -146,10 +146,11 @@ func BenchmarkCuratorMining(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		if _, err := sys.Ask(benchQueries[1]); err != nil {
+		// Curation stays on: registry evolution is what this measures.
+		if _, err := sys.Ask(ctx, benchQueries[1]); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-4 cable failure"); err != nil {
+		if _, err := sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-4 cable failure"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -162,7 +163,7 @@ func BenchmarkGeneratedCode(b *testing.B) {
 	sys := benchSystem(b, true)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rep, err := sys.Ask(benchQueries[4])
+		rep, err := sys.Ask(ctx, benchQueries[4], arachnet.AskWithoutCuration())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +19,19 @@ import (
 
 	"arachnet"
 )
+
+// ctx spans the whole experiment run; individual Asks are uncancelled.
+var ctx = context.Background()
+
+// ask runs one evaluation query without curation, so experiment order
+// never perturbs the registry under measurement.
+func ask(sys *arachnet.System, query string) *arachnet.Report {
+	rep, err := sys.Ask(ctx, query, arachnet.AskWithoutCuration())
+	if err != nil {
+		fatal(err)
+	}
+	return rep
+}
 
 // The paper's case-study queries, verbatim.
 var queries = map[int]string{
@@ -41,7 +55,6 @@ func main() {
 	sys, err := arachnet.New(
 		arachnet.WithSeed(*seed),
 		arachnet.WithScenario(arachnet.ScenarioConfig{Seed: *seed}),
-		arachnet.WithoutCuration(),
 	)
 	if err != nil {
 		fatal(err)
@@ -87,15 +100,12 @@ func case1(sys *arachnet.System, seed uint64) {
 		fatal(err)
 	}
 	restricted, err := arachnet.New(
-		arachnet.WithSeed(seed), arachnet.WithRegistry(sub), arachnet.WithoutCuration(),
+		arachnet.WithSeed(seed), arachnet.WithRegistry(sub),
 	)
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := restricted.Ask(queries[1])
-	if err != nil {
-		fatal(err)
-	}
+	rep := ask(restricted, queries[1])
 	agent := rep.Result.Outputs["aggregation"].(*arachnet.ImpactReport)
 	expert, err := arachnet.ExpertCableImpact(restricted, "SeaMeWe-5")
 	if err != nil {
@@ -114,10 +124,7 @@ func case1(sys *arachnet.System, seed uint64) {
 
 func case2(sys *arachnet.System) {
 	header("Case Study 2: natural disaster impact (10% failure probability)")
-	rep, err := sys.Ask(queries[2])
-	if err != nil {
-		fatal(err)
-	}
+	rep := ask(sys, queries[2])
 	agent := rep.Result.Outputs["combination"].(arachnet.GlobalImpact)
 	expert, err := arachnet.ExpertDisasterImpact(sys, 0.10)
 	if err != nil {
@@ -137,10 +144,7 @@ func case2(sys *arachnet.System) {
 
 func case3(sys *arachnet.System) {
 	header("Case Study 3: Europe–Asia cascading failure analysis")
-	rep, err := sys.Ask(queries[3])
-	if err != nil {
-		fatal(err)
-	}
+	rep := ask(sys, queries[3])
 	tl := rep.Result.Outputs["synthesis"].(*arachnet.Timeline)
 	expert, err := arachnet.ExpertCascade(sys, arachnet.Europe, arachnet.Asia)
 	if err != nil {
@@ -159,10 +163,7 @@ func case3(sys *arachnet.System) {
 
 func case4(sys *arachnet.System) {
 	header("Case Study 4: automated root cause investigation")
-	rep, err := sys.Ask(queries[4])
-	if err != nil {
-		fatal(err)
-	}
+	rep := ask(sys, queries[4])
 	agent := rep.Result.Outputs["verdict"].(arachnet.Verdict)
 	expert, err := arachnet.ExpertForensic(sys)
 	if err != nil {
@@ -188,10 +189,7 @@ func locTable(sys *arachnet.System) {
 	header("Generated workflow size (in-text LoC metric)")
 	fmt.Printf("%-6s %-12s %-12s %s\n", "case", "paper LoC", "measured", "steps/frameworks")
 	for n := 1; n <= 4; n++ {
-		rep, err := sys.Ask(queries[n])
-		if err != nil {
-			fatal(err)
-		}
+		rep := ask(sys, queries[n])
 		fws := rep.Design.Chosen.Frameworks(sys.Registry())
 		fmt.Printf("CS%-5d ≈%-11d %-12d %d steps / %d frameworks\n",
 			n, paperLoC[n], rep.Solution.LoC, len(rep.Design.Chosen.Steps), len(fws))
@@ -215,7 +213,8 @@ func evolution(seed uint64) {
 		"Identify the impact at a country level due to AAE-1 cable failure",
 	}
 	for i, q := range queries {
-		rep, err := sys.Ask(q)
+		// Curation stays on here: registry evolution is the experiment.
+		rep, err := sys.Ask(ctx, q)
 		if err != nil {
 			fatal(err)
 		}

@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"arachnet"
@@ -27,6 +29,8 @@ func main() {
 		regName  = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
 		show     = flag.String("show", "all", "sections to print: all|plan|design|code|result")
 		trace    = flag.Bool("trace", false, "print per-step execution provenance")
+		timeout  = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
+		noCurate = flag.Bool("no-curation", false, "disable post-run registry evolution")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -63,7 +67,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	rep, err := sys.Ask(*query)
+
+	// Ctrl-C cancels the pipeline mid-run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	askOpts := []arachnet.AskOption{}
+	if *timeout > 0 {
+		askOpts = append(askOpts, arachnet.AskTimeout(*timeout))
+	}
+	if *noCurate {
+		askOpts = append(askOpts, arachnet.AskWithoutCuration())
+	}
+	rep, err := sys.Ask(ctx, *query, askOpts...)
 	if err != nil {
 		fatal(err)
 	}

@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"arachnet"
 )
@@ -22,8 +24,10 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Cascade analysis is the heaviest case study; a per-call deadline
+	// keeps a shared System responsive under load.
 	const query = "Analyze the cascading effects of submarine cable failures between Europe and Asia"
-	rep, err := sys.Ask(query)
+	rep, err := sys.Ask(context.Background(), query, arachnet.AskTimeout(2*time.Minute))
 	if err != nil {
 		log.Fatal(err)
 	}

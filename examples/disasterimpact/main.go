@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,7 +20,7 @@ func main() {
 	}
 
 	const query = "Identify the impact of severe earthquakes and hurricanes globally assuming a 10% infra failure probability"
-	rep, err := sys.Ask(query)
+	rep, err := sys.Ask(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

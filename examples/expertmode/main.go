@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,15 +44,16 @@ func main() {
 		return nil
 	}
 
-	sys, err := arachnet.New(
-		arachnet.WithSmallWorld(7),
-		arachnet.WithExpertMode(review),
-	)
+	sys, err := arachnet.New(arachnet.WithSmallWorld(7))
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	rep, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-5 cable failure")
+	// Expert review is a per-call choice: the same System serves fully
+	// automated requests and reviewed ones side by side.
+	rep, err := sys.Ask(context.Background(),
+		"Identify the impact at a country level due to SeaMeWe-5 cable failure",
+		arachnet.AskExpert(review))
 	if err != nil {
 		log.Fatal(err)
 	}

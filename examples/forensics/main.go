@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	const query = "A sudden increase in latency was observed from European probes to Asian destinations " +
 		"starting three days ago. Determine if a submarine cable failure caused this, and if so, " +
 		"identify the specific cable."
-	rep, err := sys.Ask(query)
+	rep, err := sys.Ask(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

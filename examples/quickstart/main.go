@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,7 +22,7 @@ func main() {
 	const query = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
 	fmt.Println("query:", query)
 
-	rep, err := sys.Ask(query)
+	rep, err := sys.Ask(context.Background(), query)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module arachnet
+
+go 1.24

@@ -376,7 +376,7 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 			steps[i] = ns
 		}
 		inner := &workflow.Workflow{Name: "composite:" + name, Steps: steps}
-		res, err := workflow.NewEngine(reg, call.Env).Run(inner)
+		res, err := workflow.NewEngine(reg, call.Env).Run(call.Context(), inner)
 		if err != nil {
 			return fmt.Errorf("composite %s: %w", name, err)
 		}

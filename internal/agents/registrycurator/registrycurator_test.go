@@ -1,6 +1,7 @@
 package registrycurator
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -73,7 +74,7 @@ func chainWorkflow(query string) *workflow.Workflow {
 func observe(t testing.TB, reg *registry.Registry, query string) Observation {
 	t.Helper()
 	wf := chainWorkflow(query)
-	res, err := workflow.NewEngine(reg, nil).Run(wf)
+	res, err := workflow.NewEngine(reg, nil).Run(context.Background(), wf)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestCompositeExecutes(t *testing.T) {
 		Steps:   []workflow.Step{{ID: "u", Capability: comp.Name, Inputs: inputs}},
 		Outputs: map[string]string{"z": "u." + comp.Outputs[0].Name},
 	}
-	res, err := workflow.NewEngine(reg, nil).Run(wf)
+	res, err := workflow.NewEngine(reg, nil).Run(context.Background(), wf)
 	if err != nil {
 		t.Fatal(err)
 	}

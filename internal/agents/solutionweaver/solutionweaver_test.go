@@ -1,6 +1,7 @@
 package solutionweaver
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,7 @@ func TestWeaveChecksExecute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := workflow.NewEngine(reg, nil).Run(sol.Workflow)
+	res, err := workflow.NewEngine(reg, nil).Run(context.Background(), sol.Workflow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestWeaveAnomalyUncertaintyCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := workflow.NewEngine(reg, nil).Run(sol.Workflow)
+	res, err := workflow.NewEngine(reg, nil).Run(context.Background(), sol.Workflow)
 	if err != nil {
 		t.Fatal(err)
 	}

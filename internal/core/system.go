@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 	"time"
 
 	"arachnet/internal/agents/querymind"
@@ -13,78 +17,119 @@ import (
 	"arachnet/internal/workflow"
 )
 
-// Mode selects between fully automated operation and expert-in-the-loop
-// review.
-type Mode int
-
-// Operating modes.
-const (
-	Standard Mode = iota // fully automated
-	Expert               // review hooks fire between agents
-)
-
-// Stage names passed to expert-mode review hooks, in pipeline order.
+// Stage names, in pipeline order. The first four are passed to
+// expert-mode review hooks; all five label PipelineError.Stage
+// (curation failures are reported, not reviewed).
 const (
 	StageProblem  = "querymind"
 	StageDesign   = "workflowscout"
 	StageSolution = "solutionweaver"
 	StageResult   = "execution"
+	StageCuration = "registrycurator"
 )
 
-// ReviewHook inspects (and may veto) the artifact leaving each stage in
-// expert mode. Returning an error aborts the pipeline.
+// ReviewHook inspects (and may veto) the artifact leaving each of the
+// four pipeline stages when a call runs in expert mode. Returning an
+// error aborts the pipeline.
 type ReviewHook func(stage string, artifact any) error
 
-// Option configures a System.
-type Option func(*System)
+// askConfig collects per-call serving parameters.
+type askConfig struct {
+	hook        ReviewHook
+	curate      bool
+	timeout     time.Duration
+	parallelism int
+}
 
-// WithMode sets the operating mode.
-func WithMode(m Mode) Option { return func(s *System) { s.mode = m } }
+// AskOption configures one Ask or AskBatch call. Options are per-call:
+// a single shared System serves expert-reviewed, curation-free, and
+// deadline-bound requests side by side.
+type AskOption func(*askConfig)
 
-// WithReviewHook installs the expert-mode review hook.
-func WithReviewHook(h ReviewHook) Option { return func(s *System) { s.hook = h } }
+// AskExpert runs the call in expert mode: hook reviews the artifact
+// leaving each of the four pipeline stages (problem, design, solution,
+// result) and may veto it.
+func AskExpert(hook ReviewHook) AskOption {
+	return func(c *askConfig) { c.hook = hook }
+}
 
-// WithCuration toggles automatic post-run registry curation (on by
-// default).
-func WithCuration(on bool) Option { return func(s *System) { s.curate = on } }
+// AskWithoutCuration disables post-run registry evolution for this
+// call (curation is on by default).
+func AskWithoutCuration() AskOption {
+	return func(c *askConfig) { c.curate = false }
+}
+
+// AskTimeout bounds the call's wall-clock time, on top of whatever
+// deadline the caller's context already carries.
+func AskTimeout(d time.Duration) AskOption {
+	return func(c *askConfig) { c.timeout = d }
+}
+
+// AskParallelism bounds concurrency: how many independent workflow
+// steps an Ask executes at once, and for AskBatch the total budget —
+// divided between concurrent queries and their steps. Default
+// GOMAXPROCS.
+func AskParallelism(n int) AskOption {
+	return func(c *askConfig) {
+		if n > 0 {
+			c.parallelism = n
+		}
+	}
+}
+
+func newAskConfig(opts []AskOption) askConfig {
+	cfg := askConfig{curate: true, parallelism: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return cfg
+}
 
 // System is the assembled ArachNet pipeline over one environment and
-// registry.
+// registry. A System is safe for concurrent use: any number of
+// goroutines may Ask at once, while the curator evolves the shared
+// registry behind its write lock.
 type System struct {
-	env    *Environment
-	reg    *registry.Registry
-	mode   Mode
-	hook   ReviewHook
-	curate bool
+	env *Environment
+	reg *registry.Registry
 
-	queryMind  *querymind.Agent
-	scout      *workflowscout.Agent
-	weaver     *solutionweaver.Agent
-	curator    *registrycurator.Agent
+	queryMind *querymind.Agent
+	scout     *workflowscout.Agent
+	weaver    *solutionweaver.Agent
+	curator   *registrycurator.Agent
+
+	mu         sync.Mutex // guards history and promotions
 	history    []registrycurator.Observation
 	promotions []registrycurator.Promotion
+
+	curateMu sync.Mutex // serializes curation passes
+	// curatedThrough is the history length the last curation pass saw
+	// (guarded by mu); a pass with nothing new is skipped.
+	curatedThrough int
 }
+
+// maxHistory bounds the observation window curation mines. Patterns
+// need support 2 to promote, so recurring shapes are caught long
+// before the window slides; the bound keeps per-call curation cost
+// flat in long-lived serving processes.
+const maxHistory = 512
 
 // NewSystem assembles a pipeline. A nil registry uses the full builtin
 // catalog.
-func NewSystem(env *Environment, reg *registry.Registry, opts ...Option) (*System, error) {
+func NewSystem(env *Environment, reg *registry.Registry) (*System, error) {
 	if env == nil {
 		return nil, fmt.Errorf("core: nil environment")
 	}
 	if reg == nil {
 		reg = BuiltinRegistry()
 	}
-	s := &System{
-		env: env, reg: reg, curate: true,
+	return &System{
+		env: env, reg: reg,
 		queryMind: querymind.New(),
 		scout:     workflowscout.New(),
 		weaver:    solutionweaver.New(),
 		curator:   registrycurator.New(),
-	}
-	for _, opt := range opts {
-		opt(s)
-	}
-	return s, nil
+	}, nil
 }
 
 // Registry exposes the live registry (it evolves as the curator
@@ -96,6 +141,8 @@ func (s *System) Environment() *Environment { return s.env }
 
 // Promotions returns every composite promoted so far.
 func (s *System) Promotions() []registrycurator.Promotion {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]registrycurator.Promotion, len(s.promotions))
 	copy(out, s.promotions)
 	return out
@@ -103,6 +150,8 @@ func (s *System) Promotions() []registrycurator.Promotion {
 
 // History returns the executed-workflow observations recorded so far.
 func (s *System) History() []registrycurator.Observation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	out := make([]registrycurator.Observation, len(s.history))
 	copy(out, s.history)
 	return out
@@ -123,12 +172,29 @@ type Report struct {
 
 // Ask runs the full four-agent pipeline on a natural-language query:
 // parse → QueryMind → WorkflowScout → SolutionWeaver → execute →
-// RegistryCurator.
-func (s *System) Ask(query string) (*Report, error) {
+// RegistryCurator. The context cancels the call between stages and
+// mid-execution; failures surface as *PipelineError. The partially
+// filled Report is returned alongside any error, with Elapsed always
+// stamped.
+func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Report, error) {
+	cfg := newAskConfig(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	rep := &Report{Query: query}
+	defer func() { rep.Elapsed = time.Since(start) }()
 
 	// Language analysis + problem decomposition (QueryMind).
+	if err := ctx.Err(); err != nil {
+		return rep, pipelineErr(StageProblem, query, err)
+	}
 	rep.Spec = nlq.Parse(query, s.env.Catalog)
 	data := s.env.Data()
 	problem, err := s.queryMind.Analyze(rep.Spec, querymind.DataAvailability{
@@ -139,66 +205,154 @@ func (s *System) Ask(query string) (*Report, error) {
 		WindowDays:       data.WindowDays,
 	})
 	if err != nil {
-		return rep, err
+		return rep, pipelineErr(StageProblem, query, err)
 	}
 	rep.Problem = problem
-	if err := s.review(StageProblem, problem); err != nil {
-		return rep, err
+	if err := review(cfg.hook, StageProblem, problem); err != nil {
+		return rep, pipelineErr(StageProblem, query, err)
 	}
 
 	// Solution space exploration (WorkflowScout).
+	if err := ctx.Err(); err != nil {
+		return rep, pipelineErr(StageDesign, query, err)
+	}
 	design, err := s.scout.Design(problem, s.reg)
 	if err != nil {
-		return rep, fmt.Errorf("core: design: %w", err)
+		return rep, pipelineErr(StageDesign, query, err)
 	}
 	rep.Design = design
-	if err := s.review(StageDesign, design); err != nil {
-		return rep, err
+	if err := review(cfg.hook, StageDesign, design); err != nil {
+		return rep, pipelineErr(StageDesign, query, err)
 	}
 
 	// Implementation (SolutionWeaver).
+	if err := ctx.Err(); err != nil {
+		return rep, pipelineErr(StageSolution, query, err)
+	}
 	solution, err := s.weaver.Weave(design.Chosen, s.reg)
 	if err != nil {
-		return rep, fmt.Errorf("core: weave: %w", err)
+		return rep, pipelineErr(StageSolution, query, err)
 	}
 	rep.Solution = solution
-	if err := s.review(StageSolution, solution); err != nil {
-		return rep, err
+	if err := review(cfg.hook, StageSolution, solution); err != nil {
+		return rep, pipelineErr(StageSolution, query, err)
 	}
 
-	// Execution.
-	engine := workflow.NewEngine(s.reg, s.env)
-	result, err := engine.Run(solution.Workflow)
+	// Execution over the parallel DAG engine.
+	engine := workflow.NewEngine(s.reg, s.env, workflow.WithParallelism(cfg.parallelism))
+	result, err := engine.Run(ctx, solution.Workflow)
 	rep.Result = result
-	obs := registrycurator.Observation{Workflow: solution.Workflow, Result: result, Err: err}
-	s.history = append(s.history, obs)
-	if err != nil {
-		return rep, fmt.Errorf("core: execute: %w", err)
+	s.mu.Lock()
+	s.history = append(s.history, registrycurator.Observation{
+		Workflow: solution.Workflow, Result: result, Err: err,
+	})
+	if len(s.history) > maxHistory {
+		trimmed := len(s.history) - maxHistory
+		s.history = append([]registrycurator.Observation(nil), s.history[trimmed:]...)
+		s.curatedThrough -= trimmed
+		if s.curatedThrough < 0 {
+			s.curatedThrough = 0
+		}
 	}
-	if err := s.review(StageResult, result); err != nil {
-		return rep, err
+	s.mu.Unlock()
+	if err != nil {
+		return rep, pipelineErr(StageResult, query, err)
+	}
+	if err := review(cfg.hook, StageResult, result); err != nil {
+		return rep, pipelineErr(StageResult, query, err)
 	}
 
-	// Registry evolution (RegistryCurator).
-	if s.curate {
-		promos, err := s.curator.Curate(s.history, s.reg)
+	// Registry evolution (RegistryCurator). Serialized so concurrent
+	// calls never race to promote the same pattern.
+	if cfg.curate {
+		promos, err := s.curate()
 		if err != nil {
-			return rep, fmt.Errorf("core: curate: %w", err)
+			return rep, pipelineErr(StageCuration, query, err)
 		}
 		rep.Promotions = promos
-		s.promotions = append(s.promotions, promos...)
 	}
-
-	rep.Elapsed = time.Since(start)
 	return rep, nil
 }
 
-func (s *System) review(stage string, artifact any) error {
-	if s.mode != Expert || s.hook == nil {
+// AskBatch serves many queries from one System, fanning out over a
+// bounded worker pool (AskParallelism sets the bound). Reports align
+// with queries by index; failed queries leave their partial report in
+// place and their *PipelineError joined into the returned error.
+func (s *System) AskBatch(ctx context.Context, queries []string, opts ...AskOption) ([]*Report, error) {
+	cfg := newAskConfig(opts)
+	workers := cfg.parallelism
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Divide the concurrency budget between the pool and each run's
+	// step parallelism, so AskParallelism(n) bounds total concurrency
+	// instead of compounding to n².
+	perCall := cfg.parallelism / workers
+	if perCall < 1 {
+		perCall = 1
+	}
+	callOpts := append(append([]AskOption{}, opts...), AskParallelism(perCall))
+
+	reports := make([]*Report, len(queries))
+	errs := make([]error, len(queries))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				reports[i], errs[i] = s.Ask(ctx, queries[i], callOpts...)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return reports, errors.Join(errs...)
+}
+
+// curate snapshots the observation history and runs one serialized
+// curation pass, recording any promotions. A pass that would see no
+// observations beyond the previous one is skipped, so back-to-back
+// callers don't re-mine an unchanged history.
+func (s *System) curate() ([]registrycurator.Promotion, error) {
+	s.curateMu.Lock()
+	defer s.curateMu.Unlock()
+	s.mu.Lock()
+	seen := s.curatedThrough
+	hist := make([]registrycurator.Observation, len(s.history))
+	copy(hist, s.history)
+	s.mu.Unlock()
+	if len(hist) <= seen {
+		return nil, nil
+	}
+	promos, err := s.curator.Curate(hist, s.reg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if len(hist) > s.curatedThrough {
+		s.curatedThrough = len(hist)
+	}
+	s.promotions = append(s.promotions, promos...)
+	s.mu.Unlock()
+	return promos, nil
+}
+
+// review fires the per-call expert hook, if any.
+func review(hook ReviewHook, stage string, artifact any) error {
+	if hook == nil {
 		return nil
 	}
-	if err := s.hook(stage, artifact); err != nil {
-		return fmt.Errorf("core: expert review rejected %s: %w", stage, err)
+	if err := hook(stage, artifact); err != nil {
+		return fmt.Errorf("expert review rejected %s: %w", stage, err)
 	}
 	return nil
 }

@@ -1,15 +1,20 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
+	"time"
 
 	"arachnet/internal/agents/querymind"
 	"arachnet/internal/netsim"
 	"arachnet/internal/nlq"
 	"arachnet/internal/xaminer"
 )
+
+// ctx is the background context shared by the non-cancellation tests.
+var ctx = context.Background()
 
 const (
 	queryCS1 = "Identify the impact at a country level due to SeaMeWe-5 cable failure"
@@ -99,7 +104,7 @@ func TestAskCS1FullRegistry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(queryCS1)
+	rep, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +146,7 @@ func TestAskCS1RestrictedRegistryDirectPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(queryCS1)
+	rep, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +171,7 @@ func TestAskCS2SingleFrameworkRestraint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(queryCS2)
+	rep, err := sys.Ask(ctx, queryCS2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +197,7 @@ func TestAskCS3MultiFramework(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(queryCS3)
+	rep, err := sys.Ask(ctx, queryCS3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +224,7 @@ func TestAskCS4ForensicVerdict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(queryCS4)
+	rep, err := sys.Ask(ctx, queryCS4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +252,7 @@ func TestAskCS4WithoutDataInfeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = sys.Ask(queryCS4)
+	_, err = sys.Ask(ctx, queryCS4)
 	var infeasible *querymind.ErrInfeasible
 	if !errors.As(err, &infeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
@@ -257,7 +262,7 @@ func TestAskCS4WithoutDataInfeasible(t *testing.T) {
 func TestAskGenericRejected(t *testing.T) {
 	env := testEnv(t, false)
 	sys, _ := NewSystem(env, nil)
-	if _, err := sys.Ask("please enumerate all the things"); err == nil {
+	if _, err := sys.Ask(ctx, "please enumerate all the things"); err == nil {
 		t.Error("generic query should be rejected with guidance")
 	}
 }
@@ -265,19 +270,18 @@ func TestAskGenericRejected(t *testing.T) {
 func TestExpertModeHooks(t *testing.T) {
 	env := testEnv(t, false)
 	var stages []string
-	sys, err := NewSystem(env, nil,
-		WithMode(Expert),
-		WithReviewHook(func(stage string, artifact any) error {
-			stages = append(stages, stage)
-			if artifact == nil {
-				t.Errorf("stage %s: nil artifact", stage)
-			}
-			return nil
-		}))
+	sys, err := NewSystem(env, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := sys.Ask(queryCS1); err != nil {
+	hook := func(stage string, artifact any) error {
+		stages = append(stages, stage)
+		if artifact == nil {
+			t.Errorf("stage %s: nil artifact", stage)
+		}
+		return nil
+	}
+	if _, err := sys.Ask(ctx, queryCS1, AskExpert(hook)); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{StageProblem, StageDesign, StageSolution, StageResult}
@@ -293,32 +297,89 @@ func TestExpertModeHooks(t *testing.T) {
 
 func TestExpertModeVeto(t *testing.T) {
 	env := testEnv(t, false)
-	sys, _ := NewSystem(env, nil,
-		WithMode(Expert),
-		WithReviewHook(func(stage string, artifact any) error {
-			if stage == StageDesign {
-				return errors.New("redesign with fewer steps")
-			}
-			return nil
-		}))
-	_, err := sys.Ask(queryCS1)
+	sys, _ := NewSystem(env, nil)
+	_, err := sys.Ask(ctx, queryCS1, AskExpert(func(stage string, artifact any) error {
+		if stage == StageDesign {
+			return errors.New("redesign with fewer steps")
+		}
+		return nil
+	}))
 	if err == nil || !strings.Contains(err.Error(), "redesign") {
 		t.Fatalf("veto not propagated: %v", err)
 	}
+	// The veto surfaces as a typed pipeline error naming the stage.
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PipelineError", err)
+	}
+	if pe.Stage != StageDesign || pe.Query != queryCS1 {
+		t.Errorf("PipelineError = %+v", pe)
+	}
 }
 
-func TestStandardModeSkipsHooks(t *testing.T) {
+func TestExpertHookIsPerCall(t *testing.T) {
+	// The same System serves reviewed and unreviewed requests: a hook
+	// passed to one call must not leak into the next.
 	env := testEnv(t, false)
-	called := false
-	sys, _ := NewSystem(env, nil, WithReviewHook(func(string, any) error {
-		called = true
-		return nil
-	}))
-	if _, err := sys.Ask(queryCS1); err != nil {
+	sys, _ := NewSystem(env, nil)
+	calls := 0
+	hook := func(string, any) error { calls++; return nil }
+	if _, err := sys.Ask(ctx, queryCS1, AskExpert(hook)); err != nil {
 		t.Fatal(err)
 	}
-	if called {
-		t.Error("hook fired in standard mode")
+	reviewed := calls
+	if reviewed == 0 {
+		t.Fatal("expert hook never fired")
+	}
+	if _, err := sys.Ask(ctx, queryCS1); err != nil {
+		t.Fatal(err)
+	}
+	if calls != reviewed {
+		t.Error("hook fired on a call without AskExpert")
+	}
+}
+
+func TestAskCancelledContext(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := sys.Ask(cctx, queryCS1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("Elapsed not stamped on the error path")
+	}
+}
+
+func TestAskTimeoutStampsElapsed(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	// A nanosecond budget expires before the first stage.
+	rep, err := sys.Ask(ctx, queryCS1, AskTimeout(time.Nanosecond))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded in chain", err)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Stage != StageProblem {
+		t.Errorf("err = %v, want PipelineError at %s", err, StageProblem)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("Elapsed not stamped on the timeout path")
+	}
+}
+
+func TestInfeasibleStampsElapsed(t *testing.T) {
+	// Early error returns must still record Elapsed.
+	env := testEnv(t, false) // no scenario → CS4 infeasible
+	sys, _ := NewSystem(env, nil)
+	rep, err := sys.Ask(ctx, queryCS4)
+	if err == nil {
+		t.Fatal("want infeasibility error")
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("Elapsed not stamped on the infeasible path")
 	}
 }
 
@@ -333,13 +394,13 @@ func TestRegistryEvolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	// First run: no pattern support yet.
-	r1, err := sys.Ask(queryCS1)
+	r1, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	steps1 := len(r1.Design.Chosen.Steps)
 	// Second run of a similar query: support reaches 2 → promotion.
-	r2, err := sys.Ask("Identify the impact at a country level due to SeaMeWe-4 cable failure")
+	r2, err := sys.Ask(ctx, "Identify the impact at a country level due to SeaMeWe-4 cable failure")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +408,7 @@ func TestRegistryEvolution(t *testing.T) {
 		t.Fatal("no composite promoted after two successful runs")
 	}
 	// Third run: the design should now reuse the composite and shrink.
-	r3, err := sys.Ask("Identify the impact at a country level due to AAE-1 cable failure")
+	r3, err := sys.Ask(ctx, "Identify the impact at a country level due to AAE-1 cable failure")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -375,14 +436,14 @@ func TestAdaptiveExploration(t *testing.T) {
 	// Simple query → direct (1 candidate); complex → exploratory (>1).
 	env := testEnv(t, true)
 	sys, _ := NewSystem(env, nil)
-	r1, err := sys.Ask(queryCS1)
+	r1, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r1.Design.Strategy != "direct" || r1.Design.Explored != 1 {
 		t.Errorf("CS1: strategy=%s explored=%d, want direct/1", r1.Design.Strategy, r1.Design.Explored)
 	}
-	r3, err := sys.Ask(queryCS3)
+	r3, err := sys.Ask(ctx, queryCS3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +465,7 @@ func TestAdaptiveExploration(t *testing.T) {
 func TestGeneratedCodeShape(t *testing.T) {
 	env := testEnv(t, true)
 	sys, _ := NewSystem(env, nil)
-	rep, err := sys.Ask(queryCS1)
+	rep, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -432,7 +493,7 @@ func TestGeneratedLoCShape(t *testing.T) {
 	for name, q := range map[string]string{
 		"cs1": queryCS1, "cs2": queryCS2, "cs3": queryCS3, "cs4": queryCS4,
 	} {
-		rep, err := sys.Ask(q)
+		rep, err := sys.Ask(ctx, q)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -455,7 +516,7 @@ func TestQualityChecksPass(t *testing.T) {
 	env := testEnv(t, true)
 	sys, _ := NewSystem(env, nil)
 	for _, q := range []string{queryCS1, queryCS2, queryCS3, queryCS4} {
-		rep, err := sys.Ask(q)
+		rep, err := sys.Ask(ctx, q)
 		if err != nil {
 			t.Fatalf("%q: %v", q, err)
 		}
@@ -475,7 +536,7 @@ func TestPipelineStages(t *testing.T) {
 	// dataflow runs end to end.
 	env := testEnv(t, false)
 	sys, _ := NewSystem(env, nil)
-	rep, err := sys.Ask(queryCS1)
+	rep, err := sys.Ask(ctx, queryCS1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -501,10 +562,10 @@ func TestPipelineStages(t *testing.T) {
 
 func BenchmarkPipeline(b *testing.B) {
 	env := testEnv(b, false)
-	sys, _ := NewSystem(env, nil, WithCuration(false))
+	sys, _ := NewSystem(env, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sys.Ask(queryCS1); err != nil {
+		if _, err := sys.Ask(ctx, queryCS1, AskWithoutCuration()); err != nil {
 			b.Fatal(err)
 		}
 	}

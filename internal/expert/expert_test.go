@@ -1,6 +1,7 @@
 package expert
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -73,7 +74,7 @@ func TestCS1AgentMatchesExpert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask(fmt.Sprintf("Identify the impact at a country level due to %s cable failure", name))
+	rep, err := sys.Ask(context.Background(), fmt.Sprintf("Identify the impact at a country level due to %s cable failure", name))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestCS2AgentMatchesExpert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask("Identify the impact of severe earthquakes and hurricanes globally assuming a 10% infra failure probability")
+	rep, err := sys.Ask(context.Background(), "Identify the impact of severe earthquakes and hurricanes globally assuming a 10% infra failure probability")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestCS3AgentMatchesExpert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask("Analyze the cascading effects of submarine cable failures between Europe and Asia")
+	rep, err := sys.Ask(context.Background(), "Analyze the cascading effects of submarine cable failures between Europe and Asia")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestCS4AgentMatchesExpert(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := sys.Ask("A sudden increase in latency was observed from European probes to Asian destinations starting three days ago. Determine if a submarine cable failure caused this, and if so, identify the specific cable.")
+	rep, err := sys.Ask(context.Background(), "A sudden increase in latency was observed from European probes to Asian destinations starting three days ago. Determine if a submarine cable failure caused this, and if so, identify the specific cable.")
 	if err != nil {
 		t.Fatal(err)
 	}

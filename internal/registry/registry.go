@@ -11,11 +11,13 @@
 package registry
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DataType names a value format flowing between capabilities. Types are
@@ -61,12 +63,25 @@ type Port struct {
 }
 
 // Call is the invocation context handed to a capability
-// implementation: bound inputs, the output map to fill, and the shared
-// execution environment (opaque to this package).
+// implementation: bound inputs, the output map to fill, the shared
+// execution environment (opaque to this package), and the cancellation
+// context of the run.
 type Call struct {
 	In  map[string]any
 	Out map[string]any
 	Env any
+	// Ctx is the run's cancellation context. Long-running
+	// implementations should honor it; composites propagate it into
+	// their inner engine.
+	Ctx context.Context
+}
+
+// Context returns the run's cancellation context, never nil.
+func (c *Call) Context() context.Context {
+	if c.Ctx == nil {
+		return context.Background()
+	}
+	return c.Ctx
 }
 
 // Input fetches a bound input value or fails with a descriptive error.
@@ -143,8 +158,12 @@ func (c *Capability) OutputPort(name string) (Port, bool) {
 // ErrNotFound is returned when a capability is missing.
 var ErrNotFound = errors.New("registry: capability not found")
 
-// Registry is the capability catalog.
+// Registry is the capability catalog. It is safe for concurrent use:
+// many planners read (Get, All, Producing, ...) while the curator
+// promotes composites (Register). Capabilities are immutable once
+// registered, so returned pointers may be shared freely.
 type Registry struct {
+	mu   sync.RWMutex
 	caps map[string]*Capability
 }
 
@@ -184,11 +203,13 @@ func (r *Registry) Register(c Capability) error {
 			seen[p.Name] = true
 		}
 	}
-	if _, dup := r.caps[c.Name]; dup {
-		return fmt.Errorf("registry: capability %q already registered", c.Name)
-	}
 	if c.Cost <= 0 {
 		c.Cost = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.caps[c.Name]; dup {
+		return fmt.Errorf("registry: capability %q already registered", c.Name)
 	}
 	cc := c
 	r.caps[c.Name] = &cc
@@ -205,7 +226,9 @@ func (r *Registry) MustRegister(c Capability) {
 
 // Get returns a capability by name.
 func (r *Registry) Get(name string) (*Capability, error) {
+	r.mu.RLock()
 	c, ok := r.caps[name]
+	r.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
@@ -214,19 +237,27 @@ func (r *Registry) Get(name string) (*Capability, error) {
 
 // Has reports whether a capability exists.
 func (r *Registry) Has(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.caps[name]
 	return ok
 }
 
 // Size returns the number of registered capabilities.
-func (r *Registry) Size() int { return len(r.caps) }
+func (r *Registry) Size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.caps)
+}
 
 // All returns every capability sorted by name.
 func (r *Registry) All() []*Capability {
+	r.mu.RLock()
 	out := make([]*Capability, 0, len(r.caps))
 	for _, c := range r.caps {
 		out = append(out, c)
 	}
+	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
@@ -274,7 +305,7 @@ func (r *Registry) Producing(t DataType) []*Capability {
 // Frameworks lists the distinct frameworks present, sorted.
 func (r *Registry) Frameworks() []string {
 	set := map[string]bool{}
-	for _, c := range r.caps {
+	for _, c := range r.All() {
 		set[c.Framework] = true
 	}
 	out := make([]string, 0, len(set))
@@ -306,6 +337,8 @@ func (r *Registry) Subset(names ...string) (*Registry, error) {
 // implementations are shared function values).
 func (r *Registry) Clone() *Registry {
 	out := New()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	for _, c := range r.caps {
 		cc := *c
 		out.caps[cc.Name] = &cc

@@ -2,7 +2,9 @@ package registry
 
 import (
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -244,4 +246,43 @@ func TestMustRegisterPanics(t *testing.T) {
 		}
 	}()
 	New().MustRegister(Capability{Name: "bad"})
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	// Planners read (Get, All, Producing, Size) while the curator
+	// registers composites; under -race this verifies the RWMutex.
+	r := New()
+	r.MustRegister(validCap("seed.cap"))
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				c := validCap(fmt.Sprintf("w%d.cap%d", w, i))
+				if err := r.Register(c); err != nil {
+					t.Errorf("register: %v", err)
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if _, err := r.Get("seed.cap"); err != nil {
+					t.Errorf("get: %v", err)
+				}
+				_ = r.All()
+				_ = r.Producing(TImpact)
+				_ = r.Size()
+				_ = r.Clone()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Size(); got != 1+4*25 {
+		t.Errorf("size = %d after concurrent registration", got)
+	}
 }

@@ -5,8 +5,10 @@
 package workflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -24,6 +26,15 @@ type Binding struct {
 
 // IsRef reports whether the binding references another step's output.
 func (b Binding) IsRef() bool { return b.Ref != "" }
+
+// Validate rejects ambiguous bindings that set both a literal value
+// and a reference.
+func (b Binding) Validate() error {
+	if b.Ref != "" && b.Literal != nil {
+		return fmt.Errorf("%w: literal %v vs ref %q", ErrAmbiguousBinding, b.Literal, b.Ref)
+	}
+	return nil
+}
 
 // Lit makes a literal binding.
 func Lit(v any) Binding { return Binding{Literal: v} }
@@ -102,13 +113,29 @@ func (w *Workflow) CapabilityNames() []string {
 
 // Validation errors.
 var (
-	ErrEmptyWorkflow = errors.New("workflow: no steps")
-	ErrUnknownCap    = errors.New("workflow: unknown capability")
-	ErrBadRef        = errors.New("workflow: unresolved reference")
-	ErrTypeMismatch  = errors.New("workflow: type mismatch")
-	ErrUnboundInput  = errors.New("workflow: required input unbound")
-	ErrDuplicateStep = errors.New("workflow: duplicate step id")
+	ErrEmptyWorkflow    = errors.New("workflow: no steps")
+	ErrUnknownCap       = errors.New("workflow: unknown capability")
+	ErrBadRef           = errors.New("workflow: unresolved reference")
+	ErrTypeMismatch     = errors.New("workflow: type mismatch")
+	ErrUnboundInput     = errors.New("workflow: required input unbound")
+	ErrDuplicateStep    = errors.New("workflow: duplicate step id")
+	ErrAmbiguousBinding = errors.New("workflow: binding sets both literal and ref")
 )
+
+// StepError is the typed failure of one workflow step. It wraps the
+// capability's error (or a contract violation) so callers can pick the
+// failing step out of a pipeline error chain with errors.As.
+type StepError struct {
+	Step       string
+	Capability string
+	Err        error
+}
+
+func (e *StepError) Error() string {
+	return fmt.Sprintf("workflow: step %q (%s): %v", e.Step, e.Capability, e.Err)
+}
+
+func (e *StepError) Unwrap() error { return e.Err }
 
 // Validate statically checks the workflow against a registry: step IDs
 // unique, capabilities known, every required input bound, references
@@ -124,21 +151,29 @@ func (w *Workflow) Validate(reg *registry.Registry) error {
 		if s.ID == "" {
 			return fmt.Errorf("workflow: step %d has empty id", i)
 		}
+		// Refs are "stepID.port"; a dot inside the ID would make them
+		// ambiguous and corrupt the engine's dependency graph.
+		if strings.Contains(s.ID, ".") {
+			return fmt.Errorf("workflow: step id %q must not contain '.'", s.ID)
+		}
 		if seen[s.ID] {
 			return fmt.Errorf("%w: %q", ErrDuplicateStep, s.ID)
 		}
 		seen[s.ID] = true
-		cap, err := reg.Get(s.Capability)
+		capb, err := reg.Get(s.Capability)
 		if err != nil {
 			return fmt.Errorf("%w: step %q wants %q", ErrUnknownCap, s.ID, s.Capability)
 		}
-		for _, in := range cap.Inputs {
+		for _, in := range capb.Inputs {
 			b, bound := s.Inputs[in.Name]
 			if !bound {
 				if in.Optional {
 					continue
 				}
 				return fmt.Errorf("%w: step %q input %q", ErrUnboundInput, s.ID, in.Name)
+			}
+			if err := b.Validate(); err != nil {
+				return fmt.Errorf("step %q input %q: %w", s.ID, in.Name, err)
 			}
 			if b.IsRef() {
 				srcType, ok := produced[b.Ref]
@@ -153,11 +188,11 @@ func (w *Workflow) Validate(reg *registry.Registry) error {
 		}
 		// Unknown extra bindings are an authoring bug.
 		for name := range s.Inputs {
-			if _, ok := cap.InputPort(name); !ok {
+			if _, ok := capb.InputPort(name); !ok {
 				return fmt.Errorf("workflow: step %q binds unknown input %q of %q", s.ID, name, s.Capability)
 			}
 		}
-		for _, out := range cap.Outputs {
+		for _, out := range capb.Outputs {
 			produced[s.ID+"."+out.Name] = out.Type
 		}
 	}
@@ -222,55 +257,186 @@ func (r *Result) QualityScore() float64 {
 }
 
 // Engine executes validated workflows against a registry and a shared
-// environment value passed to every capability call.
+// environment value passed to every capability call. Steps whose
+// inputs do not depend on each other run concurrently, bounded by the
+// engine's parallelism; the dependency graph is derived from Ref
+// bindings. An Engine is stateless and safe for concurrent Run calls.
 type Engine struct {
-	reg *registry.Registry
-	env any
+	reg         *registry.Registry
+	env         any
+	parallelism int
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithParallelism bounds how many independent steps run concurrently
+// (default GOMAXPROCS; values below 1 mean sequential execution).
+func WithParallelism(n int) EngineOption {
+	return func(e *Engine) { e.parallelism = n }
 }
 
 // NewEngine builds an engine.
-func NewEngine(reg *registry.Registry, env any) *Engine {
-	return &Engine{reg: reg, env: env}
+func NewEngine(reg *registry.Registry, env any, opts ...EngineOption) *Engine {
+	e := &Engine{reg: reg, env: env, parallelism: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.parallelism < 1 {
+		e.parallelism = 1
+	}
+	return e
 }
 
-// Run validates and executes the workflow. Execution is sequential in
-// step order (references only point backward). A step error aborts the
-// run and is returned wrapped with the step ID; quality checks never
-// abort.
-func (e *Engine) Run(w *Workflow) (*Result, error) {
+// stepDone is a completed step reported back to the scheduler.
+type stepDone struct {
+	idx  int
+	capb *registry.Capability
+	stat StepStat
+	out  map[string]any
+}
+
+// Run validates and executes the workflow. Ready steps (all Ref
+// dependencies satisfied) execute concurrently up to the engine's
+// parallelism. A step error stops new steps from launching, waits for
+// in-flight ones, and is returned as a *StepError; cancellation of ctx
+// aborts the run the same way with the context's error. Quality checks
+// never abort.
+func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 	if err := w.Validate(e.reg); err != nil {
 		return nil, err
 	}
-	res := &Result{Values: map[string]any{}, Outputs: map[string]any{}}
-	for _, s := range w.Steps {
-		cap, _ := e.reg.Get(s.Capability)
-		call := &registry.Call{In: map[string]any{}, Out: map[string]any{}, Env: e.env}
-		for name, b := range s.Inputs {
-			if b.IsRef() {
-				call.In[name] = res.Values[b.Ref]
-			} else {
-				call.In[name] = b.Literal
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	// Derive the dependency graph from Ref bindings.
+	n := len(w.Steps)
+	index := make(map[string]int, n) // step ID → index
+	for i, s := range w.Steps {
+		index[s.ID] = i
+	}
+	dependents := make([][]int, n)
+	indegree := make([]int, n)
+	for i, s := range w.Steps {
+		from := map[int]bool{}
+		for _, b := range s.Inputs {
+			if !b.IsRef() {
+				continue
+			}
+			src := index[refStepID(b.Ref)]
+			if !from[src] {
+				from[src] = true
+				dependents[src] = append(dependents[src], i)
+				indegree[i]++
 			}
 		}
-		start := time.Now()
-		err := cap.Impl(call)
-		stat := StepStat{ID: s.ID, Capability: s.Capability, Duration: time.Since(start), Err: err}
-		res.Steps = append(res.Steps, stat)
-		if err != nil {
-			res.Provenance = append(res.Provenance, fmt.Sprintf("step %s (%s): FAILED: %v", s.ID, s.Capability, err))
-			return res, fmt.Errorf("workflow: step %q (%s): %w", s.ID, s.Capability, err)
+	}
+
+	res := &Result{Values: map[string]any{}, Outputs: map[string]any{}}
+	var ready []int
+	for i := 0; i < n; i++ {
+		if indegree[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+
+	// Scheduler loop: the only goroutine that touches res; workers get
+	// a prebuilt input map and report on the done channel.
+	done := make(chan stepDone)
+	running := 0
+	var firstErr error
+	launch := func(i int) {
+		s := w.Steps[i]
+		capb, _ := e.reg.Get(s.Capability)
+		in := make(map[string]any, len(s.Inputs))
+		for name, b := range s.Inputs {
+			if b.IsRef() {
+				in[name] = res.Values[b.Ref]
+			} else {
+				in[name] = b.Literal
+			}
+		}
+		running++
+		go func() {
+			call := &registry.Call{In: in, Out: map[string]any{}, Env: e.env, Ctx: ctx}
+			start := time.Now()
+			err := func() (err error) {
+				// A panicking capability must fail its step, not kill
+				// the process serving every other caller.
+				defer func() {
+					if r := recover(); r != nil {
+						err = fmt.Errorf("capability panicked: %v", r)
+					}
+				}()
+				return capb.Impl(call)
+			}()
+			done <- stepDone{
+				idx:  i,
+				capb: capb,
+				stat: StepStat{ID: s.ID, Capability: s.Capability, Duration: time.Since(start), Err: err},
+				out:  call.Out,
+			}
+		}()
+	}
+
+	for {
+		for firstErr == nil && ctx.Err() == nil && len(ready) > 0 && running < e.parallelism {
+			next := ready[0]
+			ready = ready[1:]
+			launch(next)
+		}
+		if running == 0 {
+			break
+		}
+		d := <-done
+		running--
+		s := w.Steps[d.idx]
+		res.Steps = append(res.Steps, d.stat)
+		if d.stat.Err != nil {
+			res.Provenance = append(res.Provenance,
+				fmt.Sprintf("step %s (%s): FAILED: %v", s.ID, s.Capability, d.stat.Err))
+			if firstErr == nil {
+				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: d.stat.Err}
+			}
+			continue
 		}
 		// Verify the implementation honored its contract.
-		for _, out := range cap.Outputs {
-			v, ok := call.Out[out.Name]
+		contract := false
+		for _, out := range d.capb.Outputs {
+			v, ok := d.out[out.Name]
 			if !ok {
-				return res, fmt.Errorf("workflow: step %q: capability %q did not produce output %q",
-					s.ID, s.Capability, out.Name)
+				contract = true
+				if firstErr == nil {
+					firstErr = &StepError{Step: s.ID, Capability: s.Capability,
+						Err: fmt.Errorf("capability %q did not produce output %q", s.Capability, out.Name)}
+				}
+				break
 			}
 			res.Values[s.ID+"."+out.Name] = v
 		}
+		if contract {
+			continue
+		}
 		res.Provenance = append(res.Provenance,
-			fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, stat.Duration.Round(time.Microsecond)))
+			fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, d.stat.Duration.Round(time.Microsecond)))
+		for _, j := range dependents[d.idx] {
+			indegree[j]--
+			if indegree[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+
+	// Stable reporting: stats in workflow step order regardless of
+	// completion order.
+	sort.Slice(res.Steps, func(i, j int) bool { return index[res.Steps[i].ID] < index[res.Steps[j].ID] })
+
+	if firstErr != nil {
+		return res, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return res, fmt.Errorf("workflow %q: %w", w.Name, err)
 	}
 	for name, ref := range w.Outputs {
 		res.Outputs[name] = res.Values[ref]
@@ -285,6 +451,14 @@ func (e *Engine) Run(w *Workflow) (*Result, error) {
 		res.Provenance = append(res.Provenance, fmt.Sprintf("check %s [%s]: %s %s", chk.Name, chk.Kind, status, note))
 	}
 	return res, nil
+}
+
+// refStepID extracts the producing step ID from a "stepID.port" ref.
+func refStepID(ref string) string {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		return ref[:i]
+	}
+	return ref
 }
 
 // Describe renders a compact human-readable plan of the workflow.

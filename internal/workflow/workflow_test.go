@@ -1,6 +1,7 @@
 package workflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -81,7 +82,7 @@ func pipeline() *Workflow {
 func TestRunPipeline(t *testing.T) {
 	reg := buildTestRegistry(t)
 	eng := NewEngine(reg, nil)
-	res, err := eng.Run(pipeline())
+	res, err := eng.Run(context.Background(), pipeline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestRunStepFailure(t *testing.T) {
 		Name:  "failing",
 		Steps: []Step{{ID: "f", Capability: "test.fail"}},
 	}
-	res, err := eng.Run(w)
+	res, err := eng.Run(context.Background(), w)
 	if err == nil {
 		t.Fatal("want error")
 	}
@@ -167,7 +168,7 @@ func TestRunContractViolation(t *testing.T) {
 	reg := buildTestRegistry(t)
 	eng := NewEngine(reg, nil)
 	w := &Workflow{Name: "bad", Steps: []Step{{ID: "b", Capability: "test.badimpl"}}}
-	if _, err := eng.Run(w); err == nil || !strings.Contains(err.Error(), "did not produce") {
+	if _, err := eng.Run(context.Background(), w); err == nil || !strings.Contains(err.Error(), "did not produce") {
 		t.Errorf("contract violation not detected: %v", err)
 	}
 }
@@ -188,7 +189,7 @@ func TestOptionalInputs(t *testing.T) {
 		},
 	})
 	w := &Workflow{Name: "opt", Steps: []Step{{ID: "a", Capability: "t.opt"}}}
-	res, err := NewEngine(r, nil).Run(w)
+	res, err := NewEngine(r, nil).Run(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestQualityChecks(t *testing.T) {
 			Assert: func(v any) (bool, string) { return v.(int) < 10, "n must be < 10" },
 		},
 	}
-	res, err := NewEngine(reg, nil).Run(w)
+	res, err := NewEngine(reg, nil).Run(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestEnvPassedToCalls(t *testing.T) {
 	})
 	w := &Workflow{Name: "env", Steps: []Step{{ID: "e", Capability: "t.env"}},
 		Outputs: map[string]string{"s": "e.s"}}
-	res, err := NewEngine(r, "the-environment").Run(w)
+	res, err := NewEngine(r, "the-environment").Run(context.Background(), w)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func BenchmarkRunPipeline(b *testing.B) {
 	w := pipeline()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := eng.Run(w); err != nil {
+		if _, err := eng.Run(context.Background(), w); err != nil {
 			b.Fatal(err)
 		}
 	}

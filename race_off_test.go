@@ -1,0 +1,5 @@
+//go:build !race
+
+package arachnet_test
+
+const raceEnabled = false

@@ -1,0 +1,7 @@
+//go:build race
+
+package arachnet_test
+
+// raceEnabled reports whether the race detector instruments this
+// build; timing-sensitive assertions skip under its overhead.
+const raceEnabled = true
