@@ -10,11 +10,27 @@
 // cartography, Xaminer-style resilience analysis, a policy-aware BGP
 // simulator, a traceroute campaign engine, and cascade modeling.
 //
-// A System is built once and safely shared: Ask is context-first and
-// concurrency-safe, AskBatch fans a query set out over a bounded
-// worker pool, and per-call options (AskExpert, AskWithoutCuration,
+// A System is built once and safely shared, and its pipeline is
+// observable end to end through a typed event model: every run emits
+// StageStarted/StageCompleted for the five pipeline stages,
+// StepStarted/StepCompleted/StepFailed for each workflow step the DAG
+// engine executes, CurationPromoted for registry evolution, and a
+// terminal Done carrying the Report. One pipeline implementation
+// serves three consumption styles:
+//
+//   - Ask(ctx, query, ...AskOption) blocks and returns the Report —
+//     a synchronous drain of the event path.
+//   - AskStream(ctx, query, ...AskOption) returns <-chan Event
+//     immediately; consume events until the channel closes after Done.
+//   - Submit(ctx, query, ...AskOption) enqueues an async Job on a
+//     bounded queue served by a worker pool; track it with Job.Events
+//     (replayable), Job.Wait, Job.Cancel and sys.Jobs.
+//
+// Per-call options (AskExpert, AskObserver, AskWithoutCuration,
 // AskTimeout, AskParallelism) let one shared System serve
-// heterogeneous requests.
+// heterogeneous requests; AskBatch fans a query set out over a bounded
+// worker pool. Expert review is itself just an event observer that may
+// veto a stage.
 //
 // Quickstart:
 //
@@ -24,6 +40,17 @@
 //	if err != nil { ... }
 //	fmt.Println(report.Solution.Code)   // the generated workflow program
 //	fmt.Println(report.Result.Outputs)  // the executed analysis results
+//
+// Streaming the same run instead:
+//
+//	for ev := range sys.AskStream(ctx, query) {
+//		switch ev := ev.(type) {
+//		case *arachnet.StepCompleted:
+//			fmt.Println("step", ev.Step, "in", ev.Duration)
+//		case *arachnet.Done:
+//			report, err = ev.Report, ev.Err
+//		}
+//	}
 package arachnet
 
 import (
@@ -31,6 +58,7 @@ import (
 	"time"
 
 	"arachnet/internal/agents/querymind"
+	"arachnet/internal/agents/registrycurator"
 	"arachnet/internal/agents/solutionweaver"
 	"arachnet/internal/agents/workflowscout"
 	"arachnet/internal/core"
@@ -63,10 +91,40 @@ type (
 	Call = registry.Call
 	// DataType names a value format flowing between capabilities.
 	DataType = registry.DataType
-	// AskOption configures one Ask or AskBatch call.
+	// AskOption configures one Ask, AskStream, AskBatch or Submit call.
 	AskOption = core.AskOption
 	// ReviewHook inspects artifacts between stages in expert mode.
 	ReviewHook = core.ReviewHook
+	// Event is one observable occurrence in a run's lifecycle; consume
+	// the concrete types below with a type switch.
+	Event = core.Event
+	// EventMeta is the header (query, sequence, time) common to every
+	// event.
+	EventMeta = core.EventMeta
+	// StageStarted announces a pipeline stage about to run.
+	StageStarted = core.StageStarted
+	// StageCompleted carries the artifact leaving a pipeline stage.
+	StageCompleted = core.StageCompleted
+	// StepStarted announces one workflow step being dispatched.
+	StepStarted = core.StepStarted
+	// StepCompleted reports one workflow step finishing successfully.
+	StepCompleted = core.StepCompleted
+	// StepFailed reports one workflow step failing.
+	StepFailed = core.StepFailed
+	// CurationPromoted reports one composite promoted after a run.
+	CurationPromoted = core.CurationPromoted
+	// Done is the terminal event of every run.
+	Done = core.Done
+	// Observer watches a call's event stream and may veto stages.
+	Observer = core.Observer
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+	// Job is one asynchronously-served query (see System.Submit).
+	Job = core.Job
+	// JobState is the lifecycle phase of a Job.
+	JobState = core.JobState
+	// Promotion is one composite capability promoted by the curator.
+	Promotion = registrycurator.Promotion
 	// PipelineError is the typed failure of one Ask: stage, failing
 	// workflow step, and query. errors.Is/As see through it.
 	PipelineError = core.PipelineError
@@ -110,9 +168,35 @@ const (
 	StageCuration = core.StageCuration
 )
 
+// Job lifecycle states (see System.Submit).
+const (
+	JobQueued    = core.JobQueued
+	JobRunning   = core.JobRunning
+	JobDone      = core.JobDone
+	JobCancelled = core.JobCancelled
+)
+
+// Async serving errors.
+var (
+	// ErrJobQueueFull is returned by Submit when the bounded job queue
+	// has no room.
+	ErrJobQueueFull = core.ErrJobQueueFull
+	// ErrJobsStarted is returned by SetJobLimits after the first
+	// Submit has started the worker pool.
+	ErrJobsStarted = core.ErrJobsStarted
+	// ErrJobsClosed is returned by Submit after System.Close.
+	ErrJobsClosed = core.ErrJobsClosed
+)
+
 // AskExpert runs one call in expert mode: hook reviews the artifact
-// leaving each of the four pipeline stages and may veto it.
+// leaving each of the four pipeline stages and may veto it. It is
+// implemented as an AskObserver over stage-completion events.
 func AskExpert(hook ReviewHook) AskOption { return core.AskExpert(hook) }
+
+// AskObserver attaches an event observer to one call; observers see
+// every event of the run and may veto the pipeline by returning an
+// error.
+func AskObserver(obs Observer) AskOption { return core.AskObserver(obs) }
 
 // AskWithoutCuration disables post-run registry evolution for one call
 // (curation is on by default).

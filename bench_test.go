@@ -156,6 +156,54 @@ func BenchmarkCuratorMining(b *testing.B) {
 	}
 }
 
+// BenchmarkAskStreamDrain measures the full event path: the same run
+// as BenchmarkPipeline, consumed by draining AskStream. The delta
+// against BenchmarkPipeline is the cost of channel-based delivery; the
+// acceptance bar for the streaming redesign is ≤5% over plain Ask.
+func BenchmarkAskStreamDrain(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for ev := range sys.AskStream(ctx, benchQueries[1], arachnet.AskWithoutCuration()) {
+			if d, ok := ev.(*arachnet.Done); ok && d.Err != nil {
+				b.Fatal(d.Err)
+			}
+		}
+	}
+}
+
+// BenchmarkAskObserved measures Ask with a registered (no-op)
+// observer: the inline event path without any channel.
+func BenchmarkAskObserved(b *testing.B) {
+	sys := benchSystem(b, false)
+	nop := arachnet.ObserverFunc(func(arachnet.Event) error { return nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration(), arachnet.AskObserver(nop)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSubmitWait measures per-job overhead of the async queue
+// versus calling Ask directly.
+func BenchmarkSubmitWait(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j, err := sys.Submit(ctx, benchQueries[1], arachnet.AskWithoutCuration())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := j.Wait(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGeneratedCode measures SolutionWeaver's code generation in
 // isolation (re-asking with curation off re-runs the whole pipeline;
 // the LoC table itself comes from cmd/arachnet-bench -loc).

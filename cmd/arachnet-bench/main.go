@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"arachnet"
 )
@@ -46,11 +48,17 @@ var paperLoC = map[int]int{1: 250, 2: 300, 3: 525, 4: 750}
 
 func main() {
 	var (
-		onlyCase = flag.Int("case", 0, "run a single case study (1-4); 0 = all")
-		locOnly  = flag.Bool("loc", false, "print only the LoC table")
-		seed     = flag.Uint64("seed", 42, "world seed")
+		onlyCase    = flag.Int("case", 0, "run a single case study (1-4); 0 = all")
+		locOnly     = flag.Bool("loc", false, "print only the LoC table")
+		servingOnly = flag.Bool("serving", false, "print only the async serving throughput experiment")
+		seed        = flag.Uint64("seed", 42, "world seed")
 	)
 	flag.Parse()
+
+	if *servingOnly {
+		serving(*seed)
+		return
+	}
 
 	sys, err := arachnet.New(
 		arachnet.WithSeed(*seed),
@@ -85,7 +93,60 @@ func main() {
 	if *onlyCase == 0 {
 		locTable(sys)
 		evolution(*seed)
+		serving(*seed)
 	}
+}
+
+// serving measures the async job subsystem: all four case-study
+// queries, several rounds, submitted up front and drained through
+// Job.Wait — the serving-surface counterpart of the per-call tables
+// above.
+func serving(seed uint64) {
+	header("Async serving (bounded job queue, worker pool)")
+	sys, err := arachnet.New(
+		arachnet.WithSeed(seed),
+		arachnet.WithScenario(arachnet.ScenarioConfig{Seed: seed}),
+	)
+	if err != nil {
+		fatal(err)
+	}
+	keys := make([]int, 0, len(queries))
+	for n := range queries {
+		keys = append(keys, n)
+	}
+	sort.Ints(keys)
+
+	const rounds = 3
+	start := time.Now()
+	var jobs []*arachnet.Job
+	for r := 0; r < rounds; r++ {
+		for _, n := range keys {
+			j, err := sys.Submit(ctx, queries[n], arachnet.AskWithoutCuration())
+			if err != nil {
+				fatal(err)
+			}
+			jobs = append(jobs, j)
+		}
+	}
+	queuedPeak := 0
+	for _, j := range sys.Jobs() {
+		if j.State() == arachnet.JobQueued {
+			queuedPeak++
+		}
+	}
+	var sequential time.Duration
+	for _, j := range jobs {
+		rep, err := j.Wait(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		sequential += rep.Elapsed
+	}
+	wall := time.Since(start)
+	fmt.Printf("%d jobs accepted up front (%d still queued right after submission)\n", len(jobs), queuedPeak)
+	fmt.Printf("wall clock %v vs %v summed pipeline time (%.1fx, %.1f jobs/s)\n",
+		wall.Round(time.Millisecond), sequential.Round(time.Millisecond),
+		float64(sequential)/float64(wall), float64(len(jobs))/wall.Seconds())
 }
 
 func header(title string) {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"arachnet"
 )
@@ -31,6 +32,7 @@ func main() {
 		trace    = flag.Bool("trace", false, "print per-step execution provenance")
 		timeout  = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
 		noCurate = flag.Bool("no-curation", false, "disable post-run registry evolution")
+		stream   = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -78,9 +80,36 @@ func main() {
 	if *noCurate {
 		askOpts = append(askOpts, arachnet.AskWithoutCuration())
 	}
-	rep, err := sys.Ask(ctx, *query, askOpts...)
+	var rep *arachnet.Report
+	if *stream {
+		// The streaming serving surface: progress lands on stderr as
+		// events arrive, the final artifacts print below as usual.
+		for ev := range sys.AskStream(ctx, *query, askOpts...) {
+			switch ev := ev.(type) {
+			case *arachnet.StageStarted:
+				fmt.Fprintf(os.Stderr, "▶ %s\n", ev.Stage)
+			case *arachnet.StepCompleted:
+				fmt.Fprintf(os.Stderr, "  ✓ %s (%s) in %v\n",
+					ev.Step, ev.Capability, ev.Duration.Round(time.Microsecond))
+			case *arachnet.StepFailed:
+				fmt.Fprintf(os.Stderr, "  ✗ %s (%s): %v\n", ev.Step, ev.Capability, ev.Err)
+			case *arachnet.CurationPromoted:
+				fmt.Fprintf(os.Stderr, "  + promoted %s (support %d)\n",
+					ev.Promotion.Capability.Name, ev.Promotion.Support)
+			case *arachnet.Done:
+				rep, err = ev.Report, ev.Err
+			}
+		}
+	} else {
+		rep, err = sys.Ask(ctx, *query, askOpts...)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if rep == nil {
+		// Streamed run ended without a Done (e.g. Ctrl-C with a full
+		// event buffer).
+		fatal(ctx.Err())
 	}
 
 	want := func(section string) bool { return *show == "all" || *show == section }

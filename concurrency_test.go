@@ -153,6 +153,9 @@ func TestAskBatchAlignsReports(t *testing.T) {
 // speedup needs >1 CPU, so the comparison is skipped on single-core
 // machines (the batch still runs and must succeed there).
 func TestAskBatchFasterThanSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("best-of-5 wall-clock rounds in -short mode")
+	}
 	sys := sharedSystem(t)
 	// Warm up once so neither measurement pays first-run costs, and
 	// keep curation off so both run identical workloads.

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"log"
+	"strings"
 	"time"
 
 	"arachnet"
@@ -42,8 +43,17 @@ func main() {
 		fmt.Printf("query %d: %d steps, %d LoC, quality %.2f in %v\n",
 			i+1, len(rep.Design.Chosen.Steps), rep.Solution.LoC,
 			rep.Result.QualityScore(), rep.Elapsed.Round(time.Millisecond))
+		// Curation stays on across the batch, so the curator mines the
+		// accumulated history as runs land: Report.Promotions shows
+		// which run's pass evolved the registry.
+		for _, p := range rep.Promotions {
+			fmt.Printf("  curator promoted %s (support %d, quality %.2f): %s\n",
+				p.Capability.Name, p.Support, p.AvgQuality, strings.Join(p.Pattern, " → "))
+		}
 	}
 	fmt.Printf("\nbatch wall clock %v vs %v summed sequentially (%.1fx)\n",
 		wall.Round(time.Millisecond), sequential.Round(time.Millisecond),
 		float64(sequential)/float64(wall))
+	fmt.Printf("registry after curation: %d capabilities, %d promoted composites\n",
+		sys.Registry().Size(), len(sys.Promotions()))
 }

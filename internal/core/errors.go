@@ -7,6 +7,19 @@ import (
 	"arachnet/internal/workflow"
 )
 
+// Async serving errors (see jobs.go).
+var (
+	// ErrJobQueueFull is returned by Submit when the bounded job queue
+	// has no room; callers should shed load or retry later.
+	ErrJobQueueFull = errors.New("arachnet: job queue full")
+	// ErrJobsStarted is returned by SetJobLimits after the worker pool
+	// has already started (first Submit wins).
+	ErrJobsStarted = errors.New("arachnet: job workers already started")
+	// ErrJobsClosed is returned by Submit after Close shut the job
+	// subsystem down.
+	ErrJobsClosed = errors.New("arachnet: job subsystem closed")
+)
+
 // PipelineError is the typed failure of one Ask: which pipeline stage
 // failed, the failing workflow step (execution stage only), and the
 // query that triggered it. It wraps the underlying cause, so

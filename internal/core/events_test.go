@@ -1,0 +1,310 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"arachnet/internal/registry"
+	"arachnet/internal/workflow"
+)
+
+// collectObserver records every event it sees.
+type collectObserver struct {
+	events []Event
+}
+
+func (c *collectObserver) Observe(ev Event) error {
+	c.events = append(c.events, ev)
+	return nil
+}
+
+// overriddenRegistry copies the CS1 subset, replacing the named
+// capability's implementation — the lever for forcing step failures
+// and blocking steps inside a full pipeline run.
+func overriddenRegistry(t testing.TB, name string, impl registry.Func) *registry.Registry {
+	t.Helper()
+	sub, err := BuiltinRegistry().Subset(CS1RegistryNames()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New()
+	replaced := false
+	for _, c := range sub.All() {
+		cc := *c
+		if cc.Name == name {
+			cc.Impl = impl
+			replaced = true
+		}
+		if err := reg.Register(cc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !replaced {
+		t.Fatalf("capability %q not in CS1 subset", name)
+	}
+	return reg
+}
+
+func TestAskEmitsOrderedEvents(t *testing.T) {
+	env := testEnv(t, false)
+	sys, err := NewSystem(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &collectObserver{}
+	rep, err := sys.Ask(ctx, queryCS1, AskObserver(obs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage bracketing in pipeline order, each stage completed before
+	// the next starts.
+	var stages []string
+	steps := 0
+	for _, ev := range obs.events {
+		switch ev := ev.(type) {
+		case *StageStarted:
+			stages = append(stages, "start:"+ev.Stage)
+		case *StageCompleted:
+			stages = append(stages, "done:"+ev.Stage)
+			if ev.Artifact == nil {
+				t.Errorf("stage %s completed with nil artifact", ev.Stage)
+			}
+		case *StepStarted:
+			steps++
+		}
+	}
+	want := []string{
+		"start:" + StageProblem, "done:" + StageProblem,
+		"start:" + StageDesign, "done:" + StageDesign,
+		"start:" + StageSolution, "done:" + StageSolution,
+		"start:" + StageResult, "done:" + StageResult,
+		"start:" + StageCuration, "done:" + StageCuration,
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("stage events = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("stage event %d = %s, want %s", i, stages[i], want[i])
+		}
+	}
+	if steps != len(rep.Design.Chosen.Steps) {
+		t.Errorf("observed %d StepStarted, workflow has %d steps", steps, len(rep.Design.Chosen.Steps))
+	}
+
+	// Metadata: query stamped, Seq strictly increasing, Done last.
+	for i, ev := range obs.events {
+		m := ev.meta()
+		if m.Query != queryCS1 {
+			t.Fatalf("event %d query = %q", i, m.Query)
+		}
+		if m.Seq != i {
+			t.Fatalf("event %d has Seq %d", i, m.Seq)
+		}
+		if m.Time.IsZero() {
+			t.Fatalf("event %d has zero Time", i)
+		}
+	}
+	done, ok := obs.events[len(obs.events)-1].(*Done)
+	if !ok {
+		t.Fatalf("last event is %T, want *Done", obs.events[len(obs.events)-1])
+	}
+	if done.Report != rep || done.Err != nil {
+		t.Errorf("Done = {%p %v}, want report %p", done.Report, done.Err, rep)
+	}
+}
+
+func TestAskStreamDeliversRun(t *testing.T) {
+	env := testEnv(t, false)
+	sys, err := NewSystem(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	for ev := range sys.AskStream(ctx, queryCS1) {
+		events = append(events, ev)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events streamed")
+	}
+	done, ok := events[len(events)-1].(*Done)
+	if !ok {
+		t.Fatalf("last event is %T, want *Done", events[len(events)-1])
+	}
+	if done.Err != nil {
+		t.Fatal(done.Err)
+	}
+	if done.Report == nil || done.Report.Result == nil || len(done.Report.Result.Outputs) == 0 {
+		t.Error("Done carries no usable report")
+	}
+	if done.Report.Elapsed <= 0 {
+		t.Error("Elapsed not stamped on the streamed report")
+	}
+	// The full event complement must match a blocking Ask's.
+	var sawStep, sawStage bool
+	for _, ev := range events {
+		switch ev.(type) {
+		case *StepCompleted:
+			sawStep = true
+		case *StageCompleted:
+			sawStage = true
+		}
+	}
+	if !sawStep || !sawStage {
+		t.Errorf("stream missing step (%v) or stage (%v) events", sawStep, sawStage)
+	}
+}
+
+func TestAskStreamCancelledConsumer(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	cctx, cancel := context.WithCancel(context.Background())
+	ch := sys.AskStream(cctx, queryCS1)
+	<-ch // first event arrived; the run is live
+	cancel()
+	// The channel must still close: the pipeline aborts on the
+	// cancelled context and undeliverable events are dropped.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, open := <-ch:
+			if !open {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream never closed after consumer cancellation")
+		}
+	}
+}
+
+// TestExpertVetoAtStageResult covers the previously untested last
+// reviewed stage: the hook sees the executed *workflow.Result and its
+// veto surfaces as a *PipelineError at StageResult, with the partial
+// report retaining the execution artifact.
+func TestExpertVetoAtStageResult(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	rejection := errors.New("uncertainty bounds too wide")
+	rep, err := sys.Ask(ctx, queryCS1, AskExpert(func(stage string, artifact any) error {
+		if stage != StageResult {
+			return nil
+		}
+		if _, ok := artifact.(*workflow.Result); !ok {
+			t.Errorf("StageResult artifact is %T, want *workflow.Result", artifact)
+		}
+		return rejection
+	}))
+	if !errors.Is(err, rejection) {
+		t.Fatalf("err = %v, want the veto in the chain", err)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PipelineError", err)
+	}
+	if pe.Stage != StageResult || pe.Step != "" || pe.Query != queryCS1 {
+		t.Errorf("PipelineError = %+v", pe)
+	}
+	if rep.Result == nil {
+		t.Error("partial report lost the executed result on veto")
+	}
+	// A vetoed run must not feed curation.
+	if len(rep.Promotions) != 0 {
+		t.Error("vetoed run still promoted composites")
+	}
+}
+
+// TestStepErrorUnwrapsThroughEventPath drives a real step failure
+// through the event-driven pipeline and asserts the full typed error
+// chain: *PipelineError naming stage and step → *workflow.StepError →
+// the capability's root cause; and that the failure is also visible as
+// a StepFailed event.
+func TestStepErrorUnwrapsThroughEventPath(t *testing.T) {
+	rootCause := errors.New("rollup backend offline")
+	reg := overriddenRegistry(t, "report.country_rollup", func(*registry.Call) error {
+		return rootCause
+	})
+	env := testEnv(t, false)
+	sys, err := NewSystem(env, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := &collectObserver{}
+	_, err = sys.Ask(ctx, queryCS1, AskObserver(obs))
+	if err == nil {
+		t.Fatal("want step failure")
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PipelineError", err)
+	}
+	if pe.Stage != StageResult || pe.Step == "" {
+		t.Errorf("PipelineError = %+v, want StageResult with a step", pe)
+	}
+	var se *workflow.StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("no *StepError in chain: %v", err)
+	}
+	if se.Capability != "report.country_rollup" || se.Step != pe.Step {
+		t.Errorf("StepError = %+v vs PipelineError step %q", se, pe.Step)
+	}
+	if !errors.Is(err, rootCause) {
+		t.Error("root cause lost in the chain")
+	}
+	var failed *StepFailed
+	for _, ev := range obs.events {
+		if f, ok := ev.(*StepFailed); ok {
+			failed = f
+		}
+	}
+	if failed == nil {
+		t.Fatal("no StepFailed event emitted")
+	}
+	if failed.Capability != "report.country_rollup" || !errors.Is(failed.Err, rootCause) {
+		t.Errorf("StepFailed = %+v", failed)
+	}
+}
+
+// TestObserverVetoMidRun vetoes from a step event: the in-flight
+// workflow is cancelled and the veto error wins over the engine's
+// cancellation error.
+func TestObserverVetoMidRun(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	tooSlow := errors.New("budget exceeded after first step")
+	rep, err := sys.Ask(ctx, queryCS1, AskObserver(ObserverFunc(func(ev Event) error {
+		if _, ok := ev.(*StepCompleted); ok {
+			return tooSlow
+		}
+		return nil
+	})))
+	if !errors.Is(err, tooSlow) {
+		t.Fatalf("err = %v, want the mid-run veto", err)
+	}
+	var pe *PipelineError
+	if !errors.As(err, &pe) || pe.Stage != StageResult {
+		t.Errorf("err = %v, want *PipelineError at %s", err, StageResult)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("Elapsed not stamped on the veto path")
+	}
+}
+
+func TestObserverErrorOnDoneIgnored(t *testing.T) {
+	env := testEnv(t, false)
+	sys, _ := NewSystem(env, nil)
+	rep, err := sys.Ask(ctx, queryCS1, AskObserver(ObserverFunc(func(ev Event) error {
+		if _, ok := ev.(*Done); ok {
+			return errors.New("too late to matter")
+		}
+		return nil
+	})))
+	if err != nil {
+		t.Fatalf("Done-stage observer error leaked into the result: %v", err)
+	}
+	if rep.Result == nil {
+		t.Error("no result")
+	}
+}

@@ -1,0 +1,392 @@
+// Async serving: a bounded-queue job scheduler that turns one System
+// into a long-lived server. Submit enqueues a query and returns a Job
+// immediately; a lazily-started worker pool drains the queue through
+// the same event-emitting pipeline that backs Ask and AskStream. Jobs
+// are tracked (Jobs), observable (Events), awaitable (Wait) and
+// cancellable (Cancel) — queued or mid-run.
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle phase of a submitted job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the pipeline.
+	JobRunning JobState = "running"
+	// JobDone: finished — successfully or with an error (see Wait).
+	JobDone JobState = "done"
+	// JobCancelled: cancelled before or during execution.
+	JobCancelled JobState = "cancelled"
+)
+
+// terminal reports whether the state is final.
+func (st JobState) terminal() bool { return st == JobDone || st == JobCancelled }
+
+const (
+	// defaultJobQueueDepth bounds how many jobs may wait for a worker
+	// before Submit starts refusing with ErrJobQueueFull.
+	defaultJobQueueDepth = 128
+	// maxRetainedJobs bounds how many finished jobs Jobs() remembers;
+	// older finished jobs are pruned so a long-lived server's job
+	// table stays flat. In-flight jobs are never pruned.
+	maxRetainedJobs = 1024
+)
+
+// Job is one asynchronously-served query. All methods are safe for
+// concurrent use.
+type Job struct {
+	id    uint64
+	query string
+	opts  []AskOption
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	events    []Event
+	state     JobState
+	cancelled bool
+	report    *Report
+	err       error
+	done      chan struct{}
+}
+
+// ID is the job's submission-ordered identifier, unique per System.
+func (j *Job) ID() uint64 { return j.id }
+
+// Query returns the job's natural-language query.
+func (j *Job) Query() string { return j.query }
+
+// State returns the job's current lifecycle phase.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state;
+// it composes with select the way context.Done does.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Wait blocks until the job finishes (or ctx is cancelled) and returns
+// the job's report and error, exactly as a blocking Ask would have. A
+// nil ctx waits indefinitely.
+func (j *Job) Wait(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		return j.report, j.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Cancel stops the job: a queued job completes immediately with
+// context.Canceled and never runs; a running job has its pipeline
+// cancelled mid-flight. Cancel is idempotent and a no-op on finished
+// jobs.
+func (j *Job) Cancel() {
+	j.mu.Lock()
+	if j.state == JobQueued {
+		j.cancelled = true
+		j.events = append(j.events, j.jobDoneEvent())
+		j.finishLocked(nil, context.Canceled)
+		j.mu.Unlock()
+		j.cancel()
+		return
+	}
+	if j.state == JobRunning {
+		j.cancelled = true
+	}
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// subscriberGrace bounds how long a replay goroutine waits on a
+// non-draining subscriber after the job's context is released (the job
+// finished or was cancelled). Live subscribers drain well within it;
+// abandoned ones stop leaking a goroutine after it.
+const subscriberGrace = 5 * time.Second
+
+// Events returns a channel that replays the job's event stream from
+// the beginning — late subscribers see the full history — then follows
+// it live and closes after the terminal Done event. Each call gets an
+// independent channel; multiple subscribers may watch one job. The
+// caller should drain the channel: once the job reaches a terminal
+// state, a subscriber that stops reading forfeits remaining events
+// after a grace period and the channel closes.
+func (j *Job) Events() <-chan Event {
+	ch := make(chan Event, streamBuffer)
+	go func() {
+		defer close(ch)
+		i := 0
+		for {
+			j.mu.Lock()
+			for i == len(j.events) && !j.state.terminal() {
+				j.cond.Wait()
+			}
+			if i == len(j.events) {
+				j.mu.Unlock()
+				return
+			}
+			ev := j.events[i]
+			i++
+			j.mu.Unlock()
+			if !j.deliver(ch, ev) {
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// deliver sends one replayed event, preferring delivery over exit:
+// buffer space or a ready receiver always wins. While the job is live
+// its context keeps the send blocking (the event log decouples the
+// pipeline, so a slow subscriber never stalls the run); after the
+// context is released, a bounded grace period separates slow
+// subscribers from abandoned ones.
+func (j *Job) deliver(ch chan<- Event, ev Event) bool {
+	select {
+	case ch <- ev:
+		return true
+	default:
+	}
+	select {
+	case ch <- ev:
+		return true
+	case <-j.ctx.Done():
+	}
+	t := time.NewTimer(subscriberGrace)
+	defer t.Stop()
+	select {
+	case ch <- ev:
+		return true
+	case <-t.C:
+		return false
+	}
+}
+
+// record appends one pipeline event to the job's log (the emitter sink
+// for job runs) and wakes subscribers.
+func (j *Job) record(ev Event) {
+	j.mu.Lock()
+	j.events = append(j.events, ev)
+	j.cond.Broadcast()
+	j.mu.Unlock()
+}
+
+// finish moves the job to its terminal state.
+func (j *Job) finish(rep *Report, err error) {
+	j.mu.Lock()
+	j.finishLocked(rep, err)
+	j.mu.Unlock()
+}
+
+func (j *Job) finishLocked(rep *Report, err error) {
+	if j.state.terminal() {
+		return
+	}
+	j.report, j.err = rep, err
+	// A job is JobCancelled only when it actually failed because of
+	// cancellation — via Job.Cancel or the Submit parent context. A
+	// run that completed successfully is JobDone even if a Cancel
+	// raced its final moments, and a run that failed for an unrelated
+	// reason is JobDone-with-error even if a Cancel raced the failure.
+	if err != nil && errors.Is(err, context.Canceled) && (j.cancelled || j.ctx.Err() != nil) {
+		j.state = JobCancelled
+	} else {
+		j.state = JobDone
+	}
+	close(j.done)
+	j.cond.Broadcast()
+}
+
+// jobTable is the System's async serving state: the bounded queue, the
+// lazily-started worker pool, and the submission-ordered job index.
+type jobTable struct {
+	mu      sync.Mutex
+	workers int
+	depth   int
+	queue   chan *Job
+	closed  bool
+	nextID  uint64
+	jobs    []*Job
+}
+
+// SetJobLimits configures the async serving pool: workers is the
+// number of concurrent pipeline runs, depth the bound of the waiting
+// queue. Non-positive values keep the defaults (GOMAXPROCS workers,
+// depth 128). It must be called before the first Submit; afterwards it
+// fails with ErrJobsStarted.
+func (s *System) SetJobLimits(workers, depth int) error {
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	if s.jobs.queue != nil {
+		return ErrJobsStarted
+	}
+	s.jobs.workers = workers
+	s.jobs.depth = depth
+	return nil
+}
+
+// Submit enqueues a query for asynchronous execution and returns its
+// Job immediately. The first Submit starts the worker pool. If the
+// bounded queue is full, Submit fails fast with ErrJobQueueFull rather
+// than blocking the caller — shed load or retry later. Cancelling ctx
+// cancels the job, queued or running; per-call AskOptions apply when
+// the job runs.
+func (s *System) Submit(ctx context.Context, query string, opts ...AskOption) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jctx, cancel := context.WithCancel(ctx)
+	j := &Job{
+		query:  query,
+		opts:   opts,
+		ctx:    jctx,
+		cancel: cancel,
+		state:  JobQueued,
+		done:   make(chan struct{}),
+	}
+	j.cond = sync.NewCond(&j.mu)
+
+	s.jobs.mu.Lock()
+	if s.jobs.closed {
+		s.jobs.mu.Unlock()
+		cancel()
+		return nil, ErrJobsClosed
+	}
+	s.ensureWorkersLocked()
+	select {
+	case s.jobs.queue <- j:
+	default:
+		s.jobs.mu.Unlock()
+		cancel()
+		return nil, ErrJobQueueFull
+	}
+	s.jobs.nextID++
+	j.id = s.jobs.nextID
+	s.jobs.jobs = append(s.jobs.jobs, j)
+	s.pruneJobsLocked()
+	s.jobs.mu.Unlock()
+	return j, nil
+}
+
+// Close shuts the async serving subsystem down: subsequent Submits
+// fail with ErrJobsClosed, workers exit once the queue drains, and
+// already-accepted jobs — queued or running — complete normally (use
+// Cancel to abort them). Close is idempotent, returns without waiting
+// for in-flight jobs, and leaves the blocking surfaces (Ask,
+// AskStream, AskBatch) untouched. A System that never Submitted has
+// no workers to stop.
+func (s *System) Close() {
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	if s.jobs.closed {
+		return
+	}
+	s.jobs.closed = true
+	if s.jobs.queue != nil {
+		close(s.jobs.queue)
+	}
+}
+
+// Jobs returns a snapshot of tracked jobs in submission order: every
+// queued and running job, plus up to maxRetainedJobs finished ones.
+func (s *System) Jobs() []*Job {
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	out := make([]*Job, len(s.jobs.jobs))
+	copy(out, s.jobs.jobs)
+	return out
+}
+
+// ensureWorkersLocked starts the queue and worker pool once, applying
+// configured or default limits. Callers hold jobs.mu.
+func (s *System) ensureWorkersLocked() {
+	if s.jobs.queue != nil {
+		return
+	}
+	workers := s.jobs.workers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	depth := s.jobs.depth
+	if depth < 1 {
+		depth = defaultJobQueueDepth
+	}
+	s.jobs.queue = make(chan *Job, depth)
+	for i := 0; i < workers; i++ {
+		go s.jobWorker()
+	}
+}
+
+// pruneJobsLocked drops the oldest finished jobs beyond the retention
+// bound and releases their contexts. In-flight jobs always survive:
+// their combined count is bounded by queue depth + workers, which is
+// far below maxRetainedJobs under the defaults.
+func (s *System) pruneJobsLocked() {
+	excess := len(s.jobs.jobs) - maxRetainedJobs
+	if excess <= 0 {
+		return
+	}
+	kept := make([]*Job, 0, len(s.jobs.jobs)-excess)
+	for _, j := range s.jobs.jobs {
+		if excess > 0 && j.State().terminal() {
+			j.cancel()
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	s.jobs.jobs = kept
+}
+
+// jobWorker drains the queue for the System's lifetime, running each
+// job through the shared event-emitting pipeline with the job's event
+// log as the sink.
+func (s *System) jobWorker() {
+	for j := range s.jobs.queue {
+		j.mu.Lock()
+		if j.state != JobQueued { // cancelled while waiting
+			j.mu.Unlock()
+			continue
+		}
+		j.state = JobRunning
+		j.mu.Unlock()
+
+		cfg := newAskConfig(j.opts)
+		em := &emitter{query: j.query, observers: cfg.observers, sink: j.record}
+		rep, err := s.run(j.ctx, j.query, cfg, em)
+		em.emit(&Done{Report: rep, Err: err})
+		j.finish(rep, err)
+		// Release the job's context now that the run is over: this
+		// unchains it from the Submit parent (no accumulation under a
+		// long-lived server ctx) and starts the grace clock for any
+		// abandoned Events subscribers.
+		j.cancel()
+	}
+}
+
+// jobDoneEvent synthesizes the terminal event for jobs cancelled while
+// queued, so Events subscribers of a never-run job still observe Done.
+func (j *Job) jobDoneEvent() *Done {
+	ev := &Done{Err: context.Canceled}
+	ev.Query, ev.Time = j.query, time.Now()
+	return ev
+}

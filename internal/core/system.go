@@ -35,22 +35,41 @@ type ReviewHook func(stage string, artifact any) error
 
 // askConfig collects per-call serving parameters.
 type askConfig struct {
-	hook        ReviewHook
+	observers   []Observer
 	curate      bool
 	timeout     time.Duration
 	parallelism int
 }
 
-// AskOption configures one Ask or AskBatch call. Options are per-call:
-// a single shared System serves expert-reviewed, curation-free, and
-// deadline-bound requests side by side.
+// AskOption configures one Ask, AskStream, AskBatch or Submit call.
+// Options are per-call: a single shared System serves expert-reviewed,
+// curation-free, and deadline-bound requests side by side.
 type AskOption func(*askConfig)
 
 // AskExpert runs the call in expert mode: hook reviews the artifact
 // leaving each of the four pipeline stages (problem, design, solution,
-// result) and may veto it.
+// result) and may veto it. Expert review is implemented as an ordinary
+// event observer — AskExpert(h) is AskObserver over the
+// stage-completion events.
 func AskExpert(hook ReviewHook) AskOption {
-	return func(c *askConfig) { c.hook = hook }
+	if hook == nil {
+		return func(*askConfig) {}
+	}
+	return AskObserver(expertReviewer(hook))
+}
+
+// AskObserver attaches an event observer to the call. Observers see
+// every event of the run (stages, steps, curation, Done) and may veto
+// the pipeline by returning an error. Multiple observers fire in
+// attachment order. Within one run, calls are serialized on the
+// pipeline's goroutine; an observer passed to AskBatch is shared by
+// the pool's workers and must be safe for concurrent use.
+func AskObserver(obs Observer) AskOption {
+	return func(c *askConfig) {
+		if obs != nil {
+			c.observers = append(c.observers, obs)
+		}
+	}
 }
 
 // AskWithoutCuration disables post-run registry evolution for this
@@ -60,15 +79,23 @@ func AskWithoutCuration() AskOption {
 }
 
 // AskTimeout bounds the call's wall-clock time, on top of whatever
-// deadline the caller's context already carries.
+// deadline the caller's context already carries. Non-positive
+// durations are explicitly ignored — the call runs unbounded — rather
+// than arming an already-expired deadline. For Submit the budget
+// covers pipeline execution, not time spent queued.
 func AskTimeout(d time.Duration) AskOption {
-	return func(c *askConfig) { c.timeout = d }
+	return func(c *askConfig) {
+		if d > 0 {
+			c.timeout = d
+		}
+	}
 }
 
 // AskParallelism bounds concurrency: how many independent workflow
 // steps an Ask executes at once, and for AskBatch the total budget —
 // divided between concurrent queries and their steps. Default
-// GOMAXPROCS.
+// GOMAXPROCS; values below 1 are explicitly ignored and the default
+// applies.
 func AskParallelism(n int) AskOption {
 	return func(c *askConfig) {
 		if n > 0 {
@@ -106,6 +133,10 @@ type System struct {
 	// curatedThrough is the history length the last curation pass saw
 	// (guarded by mu); a pass with nothing new is skipped.
 	curatedThrough int
+
+	// jobs is the async serving subsystem (see jobs.go); its worker
+	// pool starts lazily on the first Submit.
+	jobs jobTable
 }
 
 // maxHistory bounds the observation window curation mines. Patterns
@@ -176,8 +207,84 @@ type Report struct {
 // mid-execution; failures surface as *PipelineError. The partially
 // filled Report is returned alongside any error, with Elapsed always
 // stamped.
+//
+// Ask is a synchronous drain of the same event-emitting pipeline that
+// backs AskStream and Submit — observers registered with AskObserver
+// (including expert review) fire inline; no channel or goroutine is
+// involved, so a plain Ask pays no event-delivery overhead.
 func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Report, error) {
 	cfg := newAskConfig(opts)
+	em := &emitter{query: query, observers: cfg.observers}
+	rep, err := s.run(ctx, query, cfg, em)
+	em.emit(&Done{Report: rep, Err: err})
+	return rep, err
+}
+
+// streamBuffer decouples the pipeline from the consumer: a run can get
+// this many events ahead before event emission blocks on the reader.
+const streamBuffer = 16
+
+// AskStream is the non-blocking sibling of Ask: it starts the pipeline
+// in a background goroutine and returns a channel of typed events —
+// stage transitions, per-step execution, curation promotions — ending
+// with a Done event carrying exactly what Ask would have returned. The
+// channel is closed after Done.
+//
+// The consumer must drain the channel (or cancel ctx) — the pipeline
+// blocks once the consumer falls streamBuffer events behind, and after
+// ctx is cancelled undeliverable events are dropped so an abandoned
+// stream cannot wedge the run.
+func (s *System) AskStream(ctx context.Context, query string, opts ...AskOption) <-chan Event {
+	cfg := newAskConfig(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan Event, streamBuffer)
+	em := &emitter{query: query, observers: cfg.observers, sink: func(ev Event) {
+		// Prefer delivery: buffer space or a ready receiver always
+		// wins, even when ctx is already cancelled — otherwise the
+		// closed Done channel could race a deliverable send and drop
+		// the terminal event on an actively-draining consumer.
+		select {
+		case ch <- ev:
+			return
+		default:
+		}
+		select {
+		case ch <- ev:
+		case <-ctx.Done():
+			if _, isDone := ev.(*Done); isDone {
+				// The terminal event carries the run's outcome: give a
+				// slow-but-live consumer a bounded grace to take it
+				// before the channel closes without one.
+				t := time.NewTimer(subscriberGrace)
+				defer t.Stop()
+				select {
+				case ch <- ev:
+				case <-t.C:
+				}
+				return
+			}
+			select {
+			case ch <- ev:
+			default: // abandoned stream: drop rather than wedge the run
+			}
+		}
+	}}
+	go func() {
+		defer close(ch)
+		rep, err := s.run(ctx, query, cfg, em)
+		em.emit(&Done{Report: rep, Err: err})
+	}()
+	return ch
+}
+
+// run is the single pipeline implementation behind Ask, AskStream and
+// the job workers. It emits events through em as stages and steps
+// progress; an observer veto (non-nil error from emit) aborts the run
+// as a *PipelineError at the vetoed stage. The terminal Done event is
+// emitted by the caller, which knows how the run is being served.
+func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitter) (rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -188,11 +295,14 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 	}
 
 	start := time.Now()
-	rep := &Report{Query: query}
+	rep = &Report{Query: query}
 	defer func() { rep.Elapsed = time.Since(start) }()
 
 	// Language analysis + problem decomposition (QueryMind).
 	if err := ctx.Err(); err != nil {
+		return rep, pipelineErr(StageProblem, query, err)
+	}
+	if err := em.emit(&StageStarted{Stage: StageProblem}); err != nil {
 		return rep, pipelineErr(StageProblem, query, err)
 	}
 	rep.Spec = nlq.Parse(query, s.env.Catalog)
@@ -208,7 +318,7 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 		return rep, pipelineErr(StageProblem, query, err)
 	}
 	rep.Problem = problem
-	if err := review(cfg.hook, StageProblem, problem); err != nil {
+	if err := em.emit(&StageCompleted{Stage: StageProblem, Artifact: problem}); err != nil {
 		return rep, pipelineErr(StageProblem, query, err)
 	}
 
@@ -216,12 +326,15 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 	if err := ctx.Err(); err != nil {
 		return rep, pipelineErr(StageDesign, query, err)
 	}
+	if err := em.emit(&StageStarted{Stage: StageDesign}); err != nil {
+		return rep, pipelineErr(StageDesign, query, err)
+	}
 	design, err := s.scout.Design(problem, s.reg)
 	if err != nil {
 		return rep, pipelineErr(StageDesign, query, err)
 	}
 	rep.Design = design
-	if err := review(cfg.hook, StageDesign, design); err != nil {
+	if err := em.emit(&StageCompleted{Stage: StageDesign, Artifact: design}); err != nil {
 		return rep, pipelineErr(StageDesign, query, err)
 	}
 
@@ -229,18 +342,29 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 	if err := ctx.Err(); err != nil {
 		return rep, pipelineErr(StageSolution, query, err)
 	}
+	if err := em.emit(&StageStarted{Stage: StageSolution}); err != nil {
+		return rep, pipelineErr(StageSolution, query, err)
+	}
 	solution, err := s.weaver.Weave(design.Chosen, s.reg)
 	if err != nil {
 		return rep, pipelineErr(StageSolution, query, err)
 	}
 	rep.Solution = solution
-	if err := review(cfg.hook, StageSolution, solution); err != nil {
+	if err := em.emit(&StageCompleted{Stage: StageSolution, Artifact: solution}); err != nil {
 		return rep, pipelineErr(StageSolution, query, err)
 	}
 
-	// Execution over the parallel DAG engine.
-	engine := workflow.NewEngine(s.reg, s.env, workflow.WithParallelism(cfg.parallelism))
-	result, err := engine.Run(ctx, solution.Workflow)
+	// Execution over the parallel DAG engine. The step bridge surfaces
+	// per-step events; a veto there cancels the run mid-workflow.
+	if err := em.emit(&StageStarted{Stage: StageResult}); err != nil {
+		return rep, pipelineErr(StageResult, query, err)
+	}
+	exCtx, cancelEx := context.WithCancel(ctx)
+	defer cancelEx()
+	bridge := &stepBridge{em: em, cancel: cancelEx}
+	engine := workflow.NewEngine(s.reg, s.env,
+		workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge))
+	result, err := engine.Run(exCtx, solution.Workflow)
 	rep.Result = result
 	s.mu.Lock()
 	s.history = append(s.history, registrycurator.Observation{
@@ -255,21 +379,35 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 		}
 	}
 	s.mu.Unlock()
+	if bridge.veto != nil {
+		return rep, pipelineErr(StageResult, query, bridge.veto)
+	}
 	if err != nil {
 		return rep, pipelineErr(StageResult, query, err)
 	}
-	if err := review(cfg.hook, StageResult, result); err != nil {
+	if err := em.emit(&StageCompleted{Stage: StageResult, Artifact: result}); err != nil {
 		return rep, pipelineErr(StageResult, query, err)
 	}
 
 	// Registry evolution (RegistryCurator). Serialized so concurrent
 	// calls never race to promote the same pattern.
 	if cfg.curate {
+		if err := em.emit(&StageStarted{Stage: StageCuration}); err != nil {
+			return rep, pipelineErr(StageCuration, query, err)
+		}
 		promos, err := s.curate()
 		if err != nil {
 			return rep, pipelineErr(StageCuration, query, err)
 		}
 		rep.Promotions = promos
+		for _, p := range promos {
+			if err := em.emit(&CurationPromoted{Promotion: p}); err != nil {
+				return rep, pipelineErr(StageCuration, query, err)
+			}
+		}
+		if err := em.emit(&StageCompleted{Stage: StageCuration, Artifact: promos}); err != nil {
+			return rep, pipelineErr(StageCuration, query, err)
+		}
 	}
 	return rep, nil
 }
@@ -279,6 +417,11 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 // with queries by index; failed queries leave their partial report in
 // place and their *PipelineError joined into the returned error.
 func (s *System) AskBatch(ctx context.Context, queries []string, opts ...AskOption) ([]*Report, error) {
+	// Fast path: zero work means zero workers, channels and
+	// allocations beyond the empty (non-nil) result slice.
+	if len(queries) == 0 {
+		return []*Report{}, nil
+	}
 	cfg := newAskConfig(opts)
 	workers := cfg.parallelism
 	if workers > len(queries) {
@@ -344,15 +487,4 @@ func (s *System) curate() ([]registrycurator.Promotion, error) {
 	s.promotions = append(s.promotions, promos...)
 	s.mu.Unlock()
 	return promos, nil
-}
-
-// review fires the per-call expert hook, if any.
-func review(hook ReviewHook, stage string, artifact any) error {
-	if hook == nil {
-		return nil
-	}
-	if err := hook(stage, artifact); err != nil {
-		return fmt.Errorf("expert review rejected %s: %w", stage, err)
-	}
-	return nil
 }

@@ -241,6 +241,122 @@ func TestPanickingCapabilityFailsStep(t *testing.T) {
 	}
 }
 
+// recordingObserver logs step events; safe only for single-Run use,
+// matching the engine's serialized observer contract.
+type recordingObserver struct {
+	started  []string
+	finished []StepStat
+}
+
+func (r *recordingObserver) StepStarted(id, capability string) {
+	r.started = append(r.started, id+"/"+capability)
+}
+
+func (r *recordingObserver) StepFinished(stat StepStat) {
+	r.finished = append(r.finished, stat)
+}
+
+func TestObserverSeesEveryStep(t *testing.T) {
+	var g gauge
+	reg := slowRegistry(t, &g, time.Millisecond)
+	obs := &recordingObserver{}
+	eng := NewEngine(reg, nil, WithParallelism(2), WithObserver(obs))
+	if _, err := eng.Run(context.Background(), diamond()); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.started) != 3 || len(obs.finished) != 3 {
+		t.Fatalf("observer saw %d starts / %d finishes, want 3/3", len(obs.started), len(obs.finished))
+	}
+	// The dependent sum step must start last and finish last.
+	if obs.started[2] != "s/slow.sum" {
+		t.Errorf("start order = %v", obs.started)
+	}
+	if last := obs.finished[2]; last.ID != "s" || last.Err != nil || last.Duration <= 0 {
+		t.Errorf("final finish = %+v", last)
+	}
+}
+
+func TestObserverSeesFailure(t *testing.T) {
+	reg := buildTestRegistry(t)
+	obs := &recordingObserver{}
+	w := &Workflow{Name: "failing", Steps: []Step{{ID: "f", Capability: "test.fail"}}}
+	_, err := NewEngine(reg, nil, WithObserver(obs)).Run(context.Background(), w)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if len(obs.finished) != 1 || obs.finished[0].Err == nil {
+		t.Fatalf("failure not observed: %+v", obs.finished)
+	}
+}
+
+func TestObserverSeesContractViolation(t *testing.T) {
+	// A capability that "succeeds" without producing its declared
+	// output must be reported to observers as a failed step.
+	r := registry.New()
+	r.MustRegister(registry.Capability{
+		Name: "t.hollow", Framework: "t", Description: "forgets its output",
+		Outputs: []registry.Port{{Name: "n", Type: registry.TInt}},
+		Impl:    func(c *registry.Call) error { return nil },
+	})
+	obs := &recordingObserver{}
+	w := &Workflow{Name: "hollow", Steps: []Step{{ID: "h", Capability: "t.hollow"}}}
+	_, err := NewEngine(r, nil, WithObserver(obs)).Run(context.Background(), w)
+	var se *StepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %T, want *StepError", err)
+	}
+	if len(obs.finished) != 1 || obs.finished[0].Err == nil {
+		t.Errorf("contract violation not surfaced to observer: %+v", obs.finished)
+	}
+	if !strings.Contains(obs.finished[0].Err.Error(), "did not produce") {
+		t.Errorf("observed err = %v", obs.finished[0].Err)
+	}
+}
+
+func TestObserverCancelAbortsRun(t *testing.T) {
+	// Observers cannot veto directly; the documented idiom is
+	// cancelling the run's context from the observer.
+	var g gauge
+	reg := slowRegistry(t, &g, time.Millisecond)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &recordingObserver{}
+	eng := NewEngine(reg, nil, WithParallelism(1),
+		WithObserver(obs),
+		WithObserver(funcObserver{onFinished: func(stat StepStat) {
+			cancel()
+		}}))
+	_, err := eng.Run(ctx, diamond())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Cancellation after the first completion must stop the dependent
+	// step from ever starting.
+	for _, s := range obs.started {
+		if s == "s/slow.sum" {
+			t.Error("dependent step started after observer cancellation")
+		}
+	}
+}
+
+// funcObserver adapts closures for single-purpose observer tests.
+type funcObserver struct {
+	onStarted  func(id, capability string)
+	onFinished func(stat StepStat)
+}
+
+func (f funcObserver) StepStarted(id, capability string) {
+	if f.onStarted != nil {
+		f.onStarted(id, capability)
+	}
+}
+
+func (f funcObserver) StepFinished(stat StepStat) {
+	if f.onFinished != nil {
+		f.onFinished(stat)
+	}
+}
+
 func TestDottedStepIDRejected(t *testing.T) {
 	// Refs are "stepID.port": a dotted ID would corrupt the engine's
 	// dependency graph, so validation must reject it.

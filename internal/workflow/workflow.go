@@ -256,6 +256,19 @@ func (r *Result) QualityScore() float64 {
 	return float64(passed) / float64(len(r.Checks))
 }
 
+// Observer watches per-step execution of one Run: StepStarted fires as
+// a step is handed to a worker, StepFinished when it reports back (a
+// non-nil StepStat.Err marks failure, including output-contract
+// violations). Both methods are invoked from the run's scheduler
+// goroutine, so calls within one Run are serialized; an Observer
+// shared across concurrent Runs must be safe for concurrent use.
+// Observers watch — they cannot veto. To abort a run from an observer,
+// cancel the run's context.
+type Observer interface {
+	StepStarted(id, capability string)
+	StepFinished(stat StepStat)
+}
+
 // Engine executes validated workflows against a registry and a shared
 // environment value passed to every capability call. Steps whose
 // inputs do not depend on each other run concurrently, bounded by the
@@ -265,6 +278,7 @@ type Engine struct {
 	reg         *registry.Registry
 	env         any
 	parallelism int
+	observers   []Observer
 }
 
 // EngineOption configures an Engine.
@@ -274,6 +288,17 @@ type EngineOption func(*Engine)
 // (default GOMAXPROCS; values below 1 mean sequential execution).
 func WithParallelism(n int) EngineOption {
 	return func(e *Engine) { e.parallelism = n }
+}
+
+// WithObserver attaches a step-level observer to every Run of this
+// engine. May be given multiple times; observers fire in attachment
+// order.
+func WithObserver(o Observer) EngineOption {
+	return func(e *Engine) {
+		if o != nil {
+			e.observers = append(e.observers, o)
+		}
+	}
 }
 
 // NewEngine builds an engine.
@@ -357,6 +382,9 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 				in[name] = b.Literal
 			}
 		}
+		for _, o := range e.observers {
+			o.StepStarted(s.ID, s.Capability)
+		}
 		running++
 		go func() {
 			call := &registry.Call{In: in, Out: map[string]any{}, Env: e.env, Ctx: ctx}
@@ -399,27 +427,31 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 			if firstErr == nil {
 				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: d.stat.Err}
 			}
+			e.stepFinished(d.stat)
 			continue
 		}
 		// Verify the implementation honored its contract.
-		contract := false
+		var contractErr error
 		for _, out := range d.capb.Outputs {
 			v, ok := d.out[out.Name]
 			if !ok {
-				contract = true
-				if firstErr == nil {
-					firstErr = &StepError{Step: s.ID, Capability: s.Capability,
-						Err: fmt.Errorf("capability %q did not produce output %q", s.Capability, out.Name)}
-				}
+				contractErr = fmt.Errorf("capability %q did not produce output %q", s.Capability, out.Name)
 				break
 			}
 			res.Values[s.ID+"."+out.Name] = v
 		}
-		if contract {
+		if contractErr != nil {
+			if firstErr == nil {
+				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: contractErr}
+			}
+			notify := d.stat
+			notify.Err = contractErr
+			e.stepFinished(notify)
 			continue
 		}
 		res.Provenance = append(res.Provenance,
 			fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, d.stat.Duration.Round(time.Microsecond)))
+		e.stepFinished(d.stat)
 		for _, j := range dependents[d.idx] {
 			indegree[j]--
 			if indegree[j] == 0 {
@@ -451,6 +483,13 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 		res.Provenance = append(res.Provenance, fmt.Sprintf("check %s [%s]: %s %s", chk.Name, chk.Kind, status, note))
 	}
 	return res, nil
+}
+
+// stepFinished reports one completed step to every observer.
+func (e *Engine) stepFinished(stat StepStat) {
+	for _, o := range e.observers {
+		o.StepFinished(stat)
+	}
 }
 
 // refStepID extracts the producing step ID from a "stepID.port" ref.

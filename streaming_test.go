@@ -1,0 +1,238 @@
+package arachnet_test
+
+// Serving contract of the streaming redesign: AskStream delivers the
+// same run as Ask, event by event, and the async job subsystem turns
+// one System into a server that tracks, reports on, and cancels many
+// in-flight queries. TestJobServerConcurrent is the -race acceptance
+// hammer for Submit/Events/Wait/Cancel.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"arachnet"
+)
+
+func TestPublicAskStream(t *testing.T) {
+	sys := sharedSystem(t)
+	var stages []string
+	var rep *arachnet.Report
+	var runErr error
+	for ev := range sys.AskStream(ctx, caseQueries[0]) {
+		switch ev := ev.(type) {
+		case *arachnet.StageCompleted:
+			stages = append(stages, ev.Stage)
+		case *arachnet.Done:
+			rep, runErr = ev.Report, ev.Err
+		}
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if rep == nil || rep.Result == nil || len(rep.Result.Outputs) == 0 {
+		t.Fatal("streamed run produced no usable report")
+	}
+	want := []string{
+		arachnet.StageProblem, arachnet.StageDesign, arachnet.StageSolution,
+		arachnet.StageResult, arachnet.StageCuration,
+	}
+	if len(stages) != len(want) {
+		t.Fatalf("completed stages = %v, want %v", stages, want)
+	}
+	for i := range want {
+		if stages[i] != want[i] {
+			t.Errorf("stage %d = %s, want %s", i, stages[i], want[i])
+		}
+	}
+}
+
+func TestPublicObserverVeto(t *testing.T) {
+	sys := sharedSystem(t)
+	budget := errors.New("too many steps for this tenant")
+	_, err := sys.Ask(ctx, caseQueries[0],
+		arachnet.AskObserver(arachnet.ObserverFunc(func(ev arachnet.Event) error {
+			if sc, ok := ev.(*arachnet.StageCompleted); ok && sc.Stage == arachnet.StageDesign {
+				if d, ok := sc.Artifact.(*arachnet.Design); ok && len(d.Chosen.Steps) > 0 {
+					return budget
+				}
+			}
+			return nil
+		})))
+	if !errors.Is(err, budget) {
+		t.Fatalf("err = %v, want the observer veto in the chain", err)
+	}
+	var pe *arachnet.PipelineError
+	if !errors.As(err, &pe) || pe.Stage != arachnet.StageDesign {
+		t.Errorf("err = %v, want *PipelineError at %s", err, arachnet.StageDesign)
+	}
+}
+
+// TestJobServerConcurrent drives 12 concurrent jobs through the async
+// serving surface — Submit, Events, Wait, Cancel — with three of them
+// cancelled mid-run. The first three jobs carry an observer that parks
+// their pipeline at the first step completion, so cancellation
+// provably lands while the workflow is in flight; under -race this
+// doubles as the subsystem's safety hammer.
+func TestJobServerConcurrent(t *testing.T) {
+	sys := sharedSystem(t)
+	const (
+		total    = 12
+		toCancel = 3
+	)
+	gates := make([]chan struct{}, toCancel)
+	jobs := make([]*arachnet.Job, 0, total)
+	for i := 0; i < total; i++ {
+		var opts []arachnet.AskOption
+		if i < toCancel {
+			gates[i] = make(chan struct{})
+			gate := gates[i]
+			// Observers run synchronously on the pipeline goroutine:
+			// blocking here holds the run mid-workflow until the test
+			// releases the gate.
+			opts = append(opts, arachnet.AskObserver(arachnet.ObserverFunc(func(ev arachnet.Event) error {
+				if _, ok := ev.(*arachnet.StepCompleted); ok {
+					<-gate
+				}
+				return nil
+			})))
+		}
+		j, err := sys.Submit(ctx, caseQueries[i%len(caseQueries)], opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+
+	// Cancel the gated jobs one at a time: confirm via the live event
+	// stream that the workflow started, cancel, then release the gate.
+	// Sequential handling keeps this correct for any worker-pool size.
+	for i := 0; i < toCancel; i++ {
+		sawStep := false
+		deadline := time.After(30 * time.Second)
+		events := jobs[i].Events()
+	watch:
+		for {
+			select {
+			case ev, open := <-events:
+				if !open {
+					break watch
+				}
+				if _, ok := ev.(*arachnet.StepStarted); ok {
+					sawStep = true
+					break watch
+				}
+			case <-deadline:
+				t.Fatalf("job %d never reported a running step", i)
+			}
+		}
+		if !sawStep {
+			t.Fatalf("job %d stream closed before any step ran", i)
+		}
+		jobs[i].Cancel()
+		close(gates[i])
+		if _, err := jobs[i].Wait(ctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled job %d: err = %v, want context.Canceled", i, err)
+		}
+		if st := jobs[i].State(); st != arachnet.JobCancelled {
+			t.Errorf("cancelled job %d state = %s", i, st)
+		}
+	}
+
+	// Every other job must complete with a full report, with events
+	// replayable after the fact.
+	for i := toCancel; i < total; i++ {
+		rep, err := jobs[i].Wait(ctx)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if rep.Result == nil || len(rep.Result.Outputs) == 0 {
+			t.Errorf("job %d: empty result", i)
+		}
+		var last arachnet.Event
+		for ev := range jobs[i].Events() {
+			last = ev
+		}
+		if done, ok := last.(*arachnet.Done); !ok || done.Err != nil {
+			t.Errorf("job %d: terminal replay event = %#v", i, last)
+		}
+	}
+
+	// The job table tracked everything, and the successful runs
+	// evolved the registry through the shared curation path.
+	if got := len(sys.Jobs()); got != total {
+		t.Errorf("Jobs() tracks %d, want %d", got, total)
+	}
+	states := map[arachnet.JobState]int{}
+	for _, j := range sys.Jobs() {
+		states[j.State()]++
+	}
+	if states[arachnet.JobCancelled] != toCancel || states[arachnet.JobDone] != total-toCancel {
+		t.Errorf("job states = %v", states)
+	}
+	if len(sys.Promotions()) == 0 {
+		t.Error("no composite promoted after the job hammer")
+	}
+}
+
+// TestJobTimeoutOption confirms per-call AskOptions ride through
+// Submit: a nanosecond budget fails the job at the first stage.
+func TestJobTimeoutOption(t *testing.T) {
+	sys := sharedSystem(t)
+	j, err := sys.Submit(ctx, caseQueries[0], arachnet.AskTimeout(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	var pe *arachnet.PipelineError
+	if _, err := j.Wait(ctx); !errors.As(err, &pe) || pe.Stage != arachnet.StageProblem {
+		t.Errorf("err = %v, want *PipelineError at %s", err, arachnet.StageProblem)
+	}
+}
+
+func TestAskBatchEmptyFastPath(t *testing.T) {
+	sys := sharedSystem(t)
+	for _, queries := range [][]string{nil, {}} {
+		reports, err := sys.AskBatch(ctx, queries)
+		if err != nil {
+			t.Fatalf("empty batch errored: %v", err)
+		}
+		if reports == nil || len(reports) != 0 {
+			t.Errorf("empty batch reports = %#v, want empty non-nil slice", reports)
+		}
+	}
+}
+
+func TestNonPositiveOptionInputsIgnored(t *testing.T) {
+	sys := sharedSystem(t)
+	// A negative timeout must be ignored — not armed as an
+	// already-expired deadline — and non-positive parallelism falls
+	// back to the default.
+	rep, err := sys.Ask(ctx, caseQueries[0],
+		arachnet.AskTimeout(-time.Second), arachnet.AskParallelism(-3))
+	if err != nil {
+		t.Fatalf("negative option inputs poisoned the call: %v", err)
+	}
+	if rep.Result == nil || len(rep.Result.Outputs) == 0 {
+		t.Error("no result under ignored options")
+	}
+}
+
+// ExampleSystem_AskStream documents the streaming consumption idiom.
+func ExampleSystem_AskStream() {
+	sys, err := arachnet.New(arachnet.WithSmallWorld(7))
+	if err != nil {
+		panic(err)
+	}
+	for ev := range sys.AskStream(context.Background(),
+		"Identify the impact at a country level due to SeaMeWe-5 cable failure") {
+		if done, ok := ev.(*arachnet.Done); ok {
+			fmt.Println("failed:", done.Err != nil)
+		}
+	}
+	// Output: failed: false
+}
