@@ -27,10 +27,19 @@
 //     (replayable), Job.Wait, Job.Cancel and sys.Jobs.
 //
 // Per-call options (AskExpert, AskObserver, AskWithoutCuration,
-// AskTimeout, AskParallelism) let one shared System serve
+// AskTimeout, AskParallelism, AskNoCache) let one shared System serve
 // heterogeneous requests; AskBatch fans a query set out over a bounded
-// worker pool. Expert review is itself just an event observer that may
-// veto a stage.
+// worker pool and runs duplicate queries once (singleflight). Expert
+// review is itself just an event observer that may veto a stage.
+//
+// Serving is memoized at two layers. A plan cache keyed by (query,
+// registry generation, environment) skips the three planning agents
+// for repeat queries and is invalidated automatically whenever the
+// curator promotes a composite; a step cache memoizes Pure capability
+// executions across runs by a deterministic fingerprint of the
+// computation. Cached work still emits events, flagged Cached. Inspect
+// with System.CacheStats, tune or disable with System.SetCacheLimits,
+// and bypass per call with AskNoCache.
 //
 // Quickstart:
 //
@@ -123,6 +132,24 @@ type (
 	Job = core.Job
 	// JobState is the lifecycle phase of a Job.
 	JobState = core.JobState
+	// CacheStats is the observable state of a System's plan and step
+	// caches (see System.CacheStats).
+	CacheStats = core.CacheStats
+	// CacheCounters is the hit/miss/eviction state of one cache.
+	CacheCounters = core.CacheCounters
+)
+
+// Default cache bounds applied by New; see System.SetCacheLimits. A
+// flush is a disable/re-enable cycle: SetCacheLimits(0, 0, 0) followed
+// by SetCacheLimits with these values restores the stock configuration
+// with empty caches.
+const (
+	DefaultPlanCacheEntries = core.DefaultPlanCacheEntries
+	DefaultStepCacheEntries = core.DefaultStepCacheEntries
+	DefaultStepCacheBytes   = core.DefaultStepCacheBytes
+)
+
+type (
 	// Promotion is one composite capability promoted by the curator.
 	Promotion = registrycurator.Promotion
 	// PipelineError is the typed failure of one Ask: stage, failing
@@ -201,6 +228,11 @@ func AskObserver(obs Observer) AskOption { return core.AskObserver(obs) }
 // AskWithoutCuration disables post-run registry evolution for one call
 // (curation is on by default).
 func AskWithoutCuration() AskOption { return core.AskWithoutCuration() }
+
+// AskNoCache bypasses plan and step memoization for one call: nothing
+// is read from or written to the caches and every workflow step
+// executes fresh.
+func AskNoCache() AskOption { return core.AskNoCache() }
 
 // AskTimeout bounds one call's wall-clock time.
 func AskTimeout(d time.Duration) AskOption { return core.AskTimeout(d) }

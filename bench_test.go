@@ -204,6 +204,61 @@ func BenchmarkSubmitWait(b *testing.B) {
 	}
 }
 
+// BenchmarkAskWarmCache measures fully memoized serving: the plan
+// cache skips the three planning agents and the step cache serves
+// every pure step, so this is the repeated-query fast path. The PR 5
+// acceptance bar is ≥ 5× faster than the cold path below.
+func BenchmarkAskWarmCache(b *testing.B) {
+	sys := benchSystem(b, false)
+	if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskColdCache measures the cache-miss path: caches enabled
+// (so fingerprinting and write-back are paid) but flushed before every
+// iteration. The flush runs inside the timed region on purpose —
+// clearing the handful of entries one Ask leaves behind costs well
+// under a microsecond, whereas excluding it via StopTimer/StartTimer
+// would stop the world (ReadMemStats) every iteration and inflate the
+// measurement far more than the flush itself. The delta against
+// BenchmarkAskNoCache is the memoization overhead on a miss; the PR 5
+// acceptance bar is ≤ 5% over the PR 2 no-cache baseline.
+func BenchmarkAskColdCache(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.SetCacheLimits(0, 0, 0) // flush
+		sys.SetCacheLimits(arachnet.DefaultPlanCacheEntries,
+			arachnet.DefaultStepCacheEntries, arachnet.DefaultStepCacheBytes)
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskNoCache measures the cache-bypass path (AskNoCache): no
+// fingerprints, no lookups — the PR 2 serving path, kept as the
+// trajectory baseline.
+func BenchmarkAskNoCache(b *testing.B) {
+	sys := benchSystem(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration(), arachnet.AskNoCache()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkGeneratedCode measures SolutionWeaver's code generation in
 // isolation (re-asking with curation off re-runs the whole pipeline;
 // the LoC table itself comes from cmd/arachnet-bench -loc).

@@ -12,6 +12,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -51,12 +52,19 @@ func main() {
 		onlyCase    = flag.Int("case", 0, "run a single case study (1-4); 0 = all")
 		locOnly     = flag.Bool("loc", false, "print only the LoC table")
 		servingOnly = flag.Bool("serving", false, "print only the async serving throughput experiment")
+		cacheOnly   = flag.Bool("cache", false, "print only the memoized serving experiment (cold vs warm latencies + hit ratios)")
+		world       = flag.String("world", "full", "world size for -cache: full|small")
+		jsonPath    = flag.String("json", "", "with -cache, also write the results as JSON to this path (e.g. BENCH_5.json)")
 		seed        = flag.Uint64("seed", 42, "world seed")
 	)
 	flag.Parse()
 
 	if *servingOnly {
 		serving(*seed)
+		return
+	}
+	if *cacheOnly {
+		cacheExperiment(*seed, *world, *jsonPath)
 		return
 	}
 
@@ -152,6 +160,146 @@ func serving(seed uint64) {
 func header(title string) {
 	fmt.Printf("\n════ %s ════\n", title)
 }
+
+// cacheCaseResult is one query's cold-vs-warm measurement.
+type cacheCaseResult struct {
+	Case    int     `json:"case"`
+	Query   string  `json:"query"`
+	ColdMs  float64 `json:"cold_ms"`
+	WarmMs  float64 `json:"warm_ms"` // median of the warm rounds
+	Speedup float64 `json:"speedup"`
+}
+
+// cacheJSONCounters mirrors arachnet.CacheCounters for the report.
+type cacheJSONCounters struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+func toJSONCounters(c arachnet.CacheCounters) cacheJSONCounters {
+	return cacheJSONCounters{
+		Hits: c.Hits, Misses: c.Misses, Evictions: c.Evictions,
+		Entries: c.Entries, Bytes: c.Bytes, HitRatio: c.HitRatio(),
+	}
+}
+
+// cacheReport is the BENCH_5.json schema: the first recorded point of
+// the repo's perf trajectory (cold vs warm serving latency + cache hit
+// ratios per PR 5's memoized-serving refactor).
+type cacheReport struct {
+	Benchmark  string            `json:"benchmark"`
+	PR         int               `json:"pr"`
+	World      string            `json:"world"`
+	Seed       uint64            `json:"seed"`
+	WarmRounds int               `json:"warm_rounds"`
+	Cases      []cacheCaseResult `json:"cases"`
+	ColdMsSum  float64           `json:"cold_ms_total"`
+	WarmMsSum  float64           `json:"warm_ms_total"`
+	Speedup    float64           `json:"speedup"`
+	PlanCache  cacheJSONCounters `json:"plan_cache"`
+	StepCache  cacheJSONCounters `json:"step_cache"`
+}
+
+// cacheExperiment measures memoized serving: every case-study query
+// cold (first contact, caches empty) and warm (median of repeat
+// rounds), plus the resulting hit ratios. With -json the report also
+// lands on disk for trajectory tracking.
+func cacheExperiment(seed uint64, world, jsonPath string) {
+	header("Memoized serving (plan + step caches, cold vs warm)")
+	opts := []arachnet.Option{arachnet.WithScenario(arachnet.ScenarioConfig{Seed: seed})}
+	switch world {
+	case "full":
+		opts = append(opts, arachnet.WithSeed(seed))
+	case "small":
+		opts = append(opts, arachnet.WithSmallWorld(seed))
+	default:
+		fatal(fmt.Errorf("unknown world %q", world))
+	}
+	sys, err := arachnet.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	const warmRounds = 5
+	rep := cacheReport{
+		Benchmark: "memoized-serving-cold-vs-warm", PR: 5,
+		World: world, Seed: seed, WarmRounds: warmRounds,
+	}
+	keys := make([]int, 0, len(queries))
+	for n := range queries {
+		keys = append(keys, n)
+	}
+	sort.Ints(keys)
+
+	// Case studies share capability sub-chains, so without a flush the
+	// step cache warmed by one case would contaminate the next case's
+	// "cold" number. Disable-then-re-arm empties both caches while
+	// keeping the stock bounds.
+	flushCaches := func() {
+		sys.SetCacheLimits(0, 0, 0)
+		sys.SetCacheLimits(arachnet.DefaultPlanCacheEntries,
+			arachnet.DefaultStepCacheEntries, arachnet.DefaultStepCacheBytes)
+	}
+
+	fmt.Printf("%-6s %12s %12s %10s\n", "case", "cold", "warm(med)", "speedup")
+	for _, n := range keys {
+		flushCaches()
+		cold := timeAsk(sys, queries[n])
+		warms := make([]time.Duration, warmRounds)
+		for r := range warms {
+			warms[r] = timeAsk(sys, queries[n])
+		}
+		sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+		warm := warms[warmRounds/2]
+		res := cacheCaseResult{
+			Case: n, Query: queries[n],
+			ColdMs: ms(cold), WarmMs: ms(warm),
+			Speedup: float64(cold) / float64(warm),
+		}
+		rep.Cases = append(rep.Cases, res)
+		rep.ColdMsSum += res.ColdMs
+		rep.WarmMsSum += res.WarmMs
+		fmt.Printf("CS%-5d %12v %12v %9.1fx\n", n,
+			cold.Round(time.Microsecond), warm.Round(time.Microsecond), res.Speedup)
+	}
+	if rep.WarmMsSum > 0 {
+		rep.Speedup = rep.ColdMsSum / rep.WarmMsSum
+	}
+	st := sys.CacheStats()
+	rep.PlanCache = toJSONCounters(st.Plan)
+	rep.StepCache = toJSONCounters(st.Step)
+	fmt.Printf("total: cold %.1fms vs warm %.1fms (%.1fx)\n", rep.ColdMsSum, rep.WarmMsSum, rep.Speedup)
+	fmt.Printf("plan cache: %d/%d hits (ratio %.2f); step cache: %d/%d hits (ratio %.2f, ~%dKiB)\n",
+		st.Plan.Hits, st.Plan.Hits+st.Plan.Misses, st.Plan.HitRatio(),
+		st.Step.Hits, st.Step.Hits+st.Step.Misses, st.Step.HitRatio(), st.Step.Bytes/1024)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// timeAsk times one curation-free Ask (curation off keeps the registry
+// — and with it the plan-cache generation — fixed under measurement).
+func timeAsk(sys *arachnet.System, query string) time.Duration {
+	start := time.Now()
+	if _, err := sys.Ask(ctx, query, arachnet.AskWithoutCuration()); err != nil {
+		fatal(err)
+	}
+	return time.Since(start)
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 func case1(sys *arachnet.System, seed uint64) {
 	header("Case Study 1: expert-level cable impact analysis (SeaMeWe-5)")

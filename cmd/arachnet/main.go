@@ -23,16 +23,18 @@ import (
 
 func main() {
 	var (
-		query    = flag.String("query", "", "natural-language measurement query (required)")
-		seed     = flag.Uint64("seed", 42, "world seed")
-		world    = flag.String("world", "full", "world size: full|small")
-		scenario = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (needed for cascade/forensic queries)")
-		regName  = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
-		show     = flag.String("show", "all", "sections to print: all|plan|design|code|result")
-		trace    = flag.Bool("trace", false, "print per-step execution provenance")
-		timeout  = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
-		noCurate = flag.Bool("no-curation", false, "disable post-run registry evolution")
-		stream   = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
+		query      = flag.String("query", "", "natural-language measurement query (required)")
+		seed       = flag.Uint64("seed", 42, "world seed")
+		world      = flag.String("world", "full", "world size: full|small")
+		scenario   = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (needed for cascade/forensic queries)")
+		regName    = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
+		show       = flag.String("show", "all", "sections to print: all|plan|design|code|result")
+		trace      = flag.Bool("trace", false, "print per-step execution provenance")
+		timeout    = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
+		noCurate   = flag.Bool("no-curation", false, "disable post-run registry evolution")
+		stream     = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
+		noCache    = flag.Bool("no-cache", false, "bypass plan and step memoization for this query")
+		cacheStats = flag.Bool("cache-stats", false, "print plan/step cache statistics to stderr after the run")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -80,6 +82,9 @@ func main() {
 	if *noCurate {
 		askOpts = append(askOpts, arachnet.AskWithoutCuration())
 	}
+	if *noCache {
+		askOpts = append(askOpts, arachnet.AskNoCache())
+	}
 	var rep *arachnet.Report
 	if *stream {
 		// The streaming serving surface: progress lands on stderr as
@@ -89,8 +94,12 @@ func main() {
 			case *arachnet.StageStarted:
 				fmt.Fprintf(os.Stderr, "▶ %s\n", ev.Stage)
 			case *arachnet.StepCompleted:
-				fmt.Fprintf(os.Stderr, "  ✓ %s (%s) in %v\n",
-					ev.Step, ev.Capability, ev.Duration.Round(time.Microsecond))
+				if ev.Cached {
+					fmt.Fprintf(os.Stderr, "  ✓ %s (%s) cached\n", ev.Step, ev.Capability)
+				} else {
+					fmt.Fprintf(os.Stderr, "  ✓ %s (%s) in %v\n",
+						ev.Step, ev.Capability, ev.Duration.Round(time.Microsecond))
+				}
 			case *arachnet.StepFailed:
 				fmt.Fprintf(os.Stderr, "  ✗ %s (%s): %v\n", ev.Step, ev.Capability, ev.Err)
 			case *arachnet.CurationPromoted:
@@ -171,6 +180,13 @@ func main() {
 			}
 		}
 		fmt.Printf("\nelapsed: %v\n", rep.Elapsed)
+	}
+	if *cacheStats {
+		st := sys.CacheStats()
+		fmt.Fprintf(os.Stderr, "plan cache: %d hits / %d misses (ratio %.2f), %d entries, %d evictions\n",
+			st.Plan.Hits, st.Plan.Misses, st.Plan.HitRatio(), st.Plan.Entries, st.Plan.Evictions)
+		fmt.Fprintf(os.Stderr, "step cache: %d hits / %d misses (ratio %.2f), %d entries, ~%d bytes, %d evictions\n",
+			st.Step.Hits, st.Step.Misses, st.Step.HitRatio(), st.Step.Entries, st.Step.Bytes, st.Step.Evictions)
 	}
 }
 

@@ -282,15 +282,18 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 	outputs := make([]registry.Port, len(tailCap.Outputs))
 	copy(outputs, tailCap.Outputs)
 
-	// Merge tags; mark composite.
+	// Merge tags; mark composite. A composite is Pure — memoizable —
+	// exactly when every capability it replays is Pure.
 	tagSet := map[string]bool{}
 	var frameworks []string
 	fwSeen := map[string]bool{}
+	pure := true
 	for _, s := range chain {
 		c, err := reg.Get(s.Capability)
 		if err != nil {
 			return registry.Capability{}, err
 		}
+		pure = pure && c.Pure
 		for _, t := range c.Tags {
 			tagSet[t] = true
 		}
@@ -398,6 +401,7 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 		Tags:        tags,
 		Cost:        cost,
 		Composite:   true,
+		Pure:        pure,
 		Impl:        impl,
 	}, nil
 }

@@ -299,8 +299,9 @@ func (p *planner) tryCapability(cap *registry.Capability, sp querymind.SubProble
 
 	bindings := map[string]workflow.Binding{}
 	for _, in := range cap.Inputs {
-		// 1. Reuse an artifact already produced.
-		if ref, ok := p.have[in.Type]; ok {
+		// 1. Reuse an artifact already produced — but only when the
+		// provenance is semantically compatible (see refBindable).
+		if ref, ok := p.have[in.Type]; ok && refBindable(in, ref) {
 			bindings[in.Name] = workflow.Binding{Ref: ref}
 			continue
 		}
@@ -313,7 +314,7 @@ func (p *planner) tryCapability(cap *registry.Capability, sp querymind.SubProble
 			continue
 		}
 		// 3. Backward-chain: insert a producer for the missing type.
-		ref, err := p.produceType(in.Type, depth+1)
+		ref, err := p.produceType(in, depth+1)
 		if err != nil {
 			p.steps = p.steps[:savedSteps]
 			p.have = savedHave
@@ -339,8 +340,35 @@ func (p *planner) tryCapability(cap *registry.Capability, sp querymind.SubProble
 	return outRef, nil
 }
 
-// produceType inserts the cheapest realizable producer chain for a type.
-func (p *planner) produceType(t registry.DataType, depth int) (string, error) {
+// scalarType reports whether a data type is a generic scalar
+// ("scalar.*"). Scalars are contextual values — a cable name, a
+// probability, a rendered text — whose meaning lives in the port name,
+// not the type; matching them on type alone wires semantically
+// unrelated values together.
+func scalarType(t registry.DataType) bool {
+	return strings.HasPrefix(string(t), "scalar.")
+}
+
+// refBindable reports whether a produced artifact may ground an input
+// port. Domain types (cable.list, impact.report, ...) are precise
+// enough that any producer of the type qualifies. Generic scalars only
+// qualify when the producing port's name matches the consuming port's
+// name — `correlation ← correlate_anomaly.correlation` is real
+// dataflow, while `name ← render.text` (the promoted-composite cascade
+// bug: a rendered impact table fed to nautilus.resolve_cable as a
+// cable name) is a type-level pun.
+func refBindable(in registry.Port, ref string) bool {
+	if !scalarType(in.Type) {
+		return true
+	}
+	return workflow.RefPort(ref) == in.Name
+}
+
+// produceType inserts the cheapest realizable producer chain for an
+// input's type. For scalar inputs only producers exporting a port with
+// the input's own name are considered (see refBindable).
+func (p *planner) produceType(in registry.Port, depth int) (string, error) {
+	t := in.Type
 	if depth > maxChainDepth {
 		return "", fmt.Errorf("chaining depth exceeded for %s", t)
 	}
@@ -350,8 +378,19 @@ func (p *planner) produceType(t registry.DataType, depth int) (string, error) {
 	}
 	var lastErr error
 	for _, cap := range producers {
+		if scalarType(t) {
+			if port, ok := cap.OutputPort(in.Name); !ok || port.Type != t {
+				lastErr = fmt.Errorf("no producer exports scalar port %q of type %s", in.Name, t)
+				continue
+			}
+		}
 		ref, err := p.tryCapability(cap, querymind.SubProblem{ID: "auto", Produces: t}, depth)
 		if err == nil {
+			if scalarType(t) && workflow.RefPort(ref) != in.Name {
+				// The capability exports several ports of this scalar
+				// type; take the one whose name grounds the input.
+				ref = workflow.RefStepID(ref) + "." + in.Name
+			}
 			return ref, nil
 		}
 		lastErr = err

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUCacheBasics(t *testing.T) {
+	c := newLRUCache(64, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", 1, 10)
+	v, ok := c.Get("a")
+	if !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	st := c.Counters()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 10 {
+		t.Fatalf("counters = %+v", st)
+	}
+	// Refreshing a key replaces the value and re-accounts its size.
+	c.Put("a", 2, 30)
+	v, _ = c.Get("a")
+	st = c.Counters()
+	if v != 2 || st.Entries != 1 || st.Bytes != 30 {
+		t.Fatalf("after refresh: v=%v counters=%+v", v, st)
+	}
+}
+
+func TestLRUCacheEntryBound(t *testing.T) {
+	c := newLRUCache(16, 0)
+	for i := 0; i < 500; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	st := c.Counters()
+	if st.Entries > 16 {
+		t.Errorf("entries = %d, want <= 16", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded under pressure")
+	}
+}
+
+func TestLRUCacheByteBound(t *testing.T) {
+	// 16 shards × (4096/16 = 256 bytes each); 200-byte values force
+	// every shard down to one entry.
+	c := newLRUCache(1024, 4096)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 200)
+	}
+	st := c.Counters()
+	if st.Bytes > 4096 {
+		t.Errorf("bytes = %d, want <= 4096", st.Bytes)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions under byte pressure")
+	}
+}
+
+func TestLRUCacheEvictsLeastRecent(t *testing.T) {
+	// Two entries per shard: a hot key refreshed before every insert
+	// must outlive the cold keys that share its shard.
+	c := newLRUCache(2*cacheShards, 0)
+	c.Put("hot", 1, 1)
+	for i := 0; i < 200; i++ {
+		c.Get("hot") // keep it recent
+		c.Put(fmt.Sprintf("cold%d", i), i, 1)
+	}
+	if _, ok := c.Get("hot"); !ok {
+		t.Error("recently used entry was evicted")
+	}
+}
+
+func TestLRUCacheDisabledAndFlushed(t *testing.T) {
+	c := newLRUCache(64, 0)
+	c.Put("a", 1, 1)
+	c.SetLimits(0, 0)
+	if _, ok := c.Get("a"); ok {
+		t.Error("disabled cache served a hit")
+	}
+	c.Put("b", 2, 1)
+	if st := c.Counters(); st.Entries != 0 {
+		t.Errorf("disabled cache holds %d entries", st.Entries)
+	}
+	// Re-enabling starts empty but functional.
+	c.SetLimits(64, 0)
+	c.Put("c", 3, 1)
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Error("re-enabled cache does not serve")
+	}
+}
+
+func TestLRUCacheShrinkEvictsImmediately(t *testing.T) {
+	c := newLRUCache(1024, 0)
+	for i := 0; i < 512; i++ {
+		c.Put(fmt.Sprintf("k%d", i), i, 1)
+	}
+	c.SetLimits(16, 0)
+	if st := c.Counters(); st.Entries > 16 {
+		t.Errorf("entries = %d after shrink, want <= 16", st.Entries)
+	}
+}
+
+func TestLRUCacheConcurrent(t *testing.T) {
+	c := newLRUCache(256, 1<<20)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				key := fmt.Sprintf("k%d", (g*31+i)%64)
+				if v, ok := c.Get(key); ok {
+					if v.(int) != (g*31+i)%64 {
+						t.Errorf("wrong value for %s: %v", key, v)
+						return
+					}
+				}
+				c.Put(key, (g*31+i)%64, 64)
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Counters()
+	if st.Hits+st.Misses != 8*400 {
+		t.Errorf("lookups = %d, want %d", st.Hits+st.Misses, 8*400)
+	}
+}
+
+func TestEstimateSize(t *testing.T) {
+	small := estimateSize(42)
+	big := estimateSize(make([]byte, 1<<16))
+	if small >= big {
+		t.Errorf("estimate(int)=%d >= estimate(64KiB slice)=%d", small, big)
+	}
+	if s := estimateSize("hello, world"); s < 12 {
+		t.Errorf("string estimate %d < payload length", s)
+	}
+	// Cyclic structures must terminate (depth-bounded walk).
+	type node struct {
+		Next *node
+		Name string
+	}
+	n := &node{Name: "a"}
+	n.Next = n
+	if s := estimateSize(n); s <= 0 {
+		t.Errorf("cyclic estimate = %d", s)
+	}
+	// Output maps — the step cache's value shape — include payloads.
+	out := map[string]any{"text": string(make([]byte, 4096))}
+	if s := estimateSize(out); s < 4096 {
+		t.Errorf("map estimate %d misses the 4KiB payload", s)
+	}
+}

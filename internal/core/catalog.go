@@ -103,6 +103,7 @@ func registerNautilus(r *registry.Registry) {
 		Constraints: []string{"cable must exist in the catalog"},
 		Tags:        []string{"cable-resolution"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -128,6 +129,7 @@ func registerNautilus(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "cables", Type: registry.TCableList}},
 		Tags:        []string{"adapter"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("cable")
 			if err != nil {
@@ -153,6 +155,7 @@ func registerNautilus(r *registry.Registry) {
 		Constraints: []string{"regions must be recognized region names"},
 		Tags:        []string{"corridor", "cable-resolution"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -188,6 +191,7 @@ func registerNautilus(r *registry.Registry) {
 		Constraints: []string{"requires a computed cross-layer map"},
 		Tags:        []string{"link-extraction", "cable-dependency"},
 		Cost:        2,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -224,6 +228,7 @@ func registerNautilus(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "ips", Type: registry.TIPSet}},
 		Tags:        []string{"ip-extraction"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -258,6 +263,7 @@ func registerNautilus(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "coverage", Type: registry.TFloat}},
 		Tags:        []string{"validation", "uncertainty"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -277,6 +283,7 @@ func registerGeo(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "geo", Type: registry.TGeoTable}},
 		Tags:        []string{"geo-mapping"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -313,6 +320,7 @@ func registerReport(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "report", Type: registry.TImpact}},
 		Tags:    []string{"aggregation", "country-level"},
 		Cost:    2,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -342,6 +350,7 @@ func registerReport(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "text", Type: registry.TString}},
 		Tags:        []string{"render"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("report")
 			if err != nil {
@@ -499,6 +508,7 @@ func registerXaminer(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "report", Type: registry.TImpact}},
 		Tags:        []string{"impact-analysis", "embedding", "aggregation", "country-level"},
 		Cost:        3,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -521,6 +531,7 @@ func registerXaminer(r *registry.Registry) {
 		Constraints: []string{"recomputes global routing tables; expensive on large worlds"},
 		Tags:        []string{"routing-impact", "validation"},
 		Cost:        6,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -543,6 +554,7 @@ func registerXaminer(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "events", Type: registry.TEventList}},
 		Tags:        []string{"event-selection"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("types")
 			if err != nil {
@@ -579,6 +591,7 @@ func registerXaminer(r *registry.Registry) {
 		Constraints: []string{"probability must lie in [0,1]"},
 		Tags:        []string{"event-processing", "impact-analysis"},
 		Cost:        3,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -616,6 +629,7 @@ func registerXaminer(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "global", Type: registry.TGlobal}},
 		Tags:        []string{"aggregation", "combine"},
 		Cost:        1,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {

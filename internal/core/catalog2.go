@@ -24,6 +24,7 @@ func registerBGP(r *registry.Registry) {
 		Constraints: []string{"requires injected scenario data (collector dumps)"},
 		Tags:        []string{"temporal", "routing-data"},
 		Cost:        2,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -44,6 +45,7 @@ func registerBGP(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "bursts", Type: registry.TBGPBursts}},
 		Tags:        []string{"anomaly-detection", "routing"},
 		Cost:        2,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			msgs, err := inputStream(c)
 			if err != nil {
@@ -64,6 +66,7 @@ func registerBGP(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "correlation", Type: registry.TFloat}},
 		Tags:    []string{"temporal-correlation", "validation"},
 		Cost:    2,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			msgs, err := inputStream(c)
 			if err != nil {
@@ -115,6 +118,7 @@ func registerTraceroute(r *registry.Registry) {
 		Constraints: []string{"requires injected scenario data (probe campaign)"},
 		Tags:        []string{"temporal", "measurement-data"},
 		Cost:        2,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -135,6 +139,7 @@ func registerTraceroute(r *registry.Registry) {
 		Outputs:     []registry.Port{{Name: "anomaly", Type: registry.TAnomaly}},
 		Tags:        []string{"anomaly-detection", "statistical"},
 		Cost:        3,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("archive")
 			if err != nil {
@@ -257,6 +262,7 @@ func registerTopo(r *registry.Registry) {
 		Constraints: []string{"requires the cross-layer map"},
 		Tags:        []string{"cascade", "dependency-graph"},
 		Cost:        4,
+		Pure:        true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -298,6 +304,7 @@ func registerTopo(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "stress", Type: registry.TStress}},
 		Tags:    []string{"cascade", "as-layer"},
 		Cost:    3,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -330,6 +337,7 @@ func registerForensic(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "suspects", Type: registry.TSuspects}},
 		Tags:    []string{"forensic", "infrastructure-correlation"},
 		Cost:    4,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -359,6 +367,7 @@ func registerForensic(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "verdict", Type: registry.TVerdict}},
 		Tags:    []string{"evidence-synthesis", "causation"},
 		Cost:    2,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			f, err := inputAnomaly(c)
 			if err != nil {
@@ -393,6 +402,7 @@ func registerForensic(r *registry.Registry) {
 		Outputs: []registry.Port{{Name: "timeline", Type: registry.TTimeline}},
 		Tags:    []string{"synthesis", "cross-layer"},
 		Cost:    2,
+		Pure:    true,
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"arachnet/internal/bgp"
@@ -16,6 +17,37 @@ import (
 // defaultNow is the fixed "wall clock" of the simulation, so every run
 // is reproducible.
 var defaultNow = time.Date(2025, 6, 15, 12, 0, 0, 0, time.UTC)
+
+// envSeq hands every Environment a process-unique identity for cache
+// fingerprinting.
+var envSeq atomic.Uint64
+
+// Fingerprint uniquely identifies this environment instance and its
+// mutation epoch. It is mixed into every step-cache key, so memoized
+// results computed against one environment (or against this one before
+// a scenario was injected) are never served against another. The
+// identity is deliberately per-instance rather than content-derived:
+// two worlds built from the same seed would produce identical results,
+// but proving that is the cache's job only within one environment.
+func (e *Environment) Fingerprint() string {
+	return fmt.Sprintf("env%d.%d", e.fpID, e.fpEpoch)
+}
+
+// ensureFingerprint assigns the instance identity once; hand-built
+// Environment literals (tests) get one lazily at System assembly.
+func (e *Environment) ensureFingerprint() {
+	if e.fpID == 0 {
+		e.fpID = envSeq.Add(1)
+	}
+}
+
+// bumpFingerprint advances the mutation epoch after an in-place
+// environment change (scenario injection), invalidating step-cache
+// entries computed over the previous state.
+func (e *Environment) bumpFingerprint() {
+	e.ensureFingerprint()
+	e.fpEpoch++
+}
 
 // NewEnvironment generates a world from the config, runs the Nautilus
 // cross-layer mapping, and prepares the Xaminer analyzer. No scenario
@@ -35,7 +67,9 @@ func NewEnvironment(cfg netsim.Config) (*Environment, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: analyzer: %w", err)
 	}
-	return &Environment{World: w, Catalog: cat, CrossMap: m, Analyzer: an, Now: defaultNow}, nil
+	env := &Environment{World: w, Catalog: cat, CrossMap: m, Analyzer: an, Now: defaultNow}
+	env.ensureFingerprint()
+	return env, nil
 }
 
 // ScenarioConfig controls forensic-scenario injection.
@@ -117,6 +151,9 @@ func (e *Environment) InjectCableFailureScenario(sc ScenarioConfig) error {
 		TrueCable: cable, FailedLink: links,
 		Archive: arch, Stream: stream,
 	}
+	// The environment's observable data changed; retire any memoized
+	// step results computed over the scenario-less state.
+	e.bumpFingerprint()
 	return nil
 }
 

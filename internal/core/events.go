@@ -60,6 +60,10 @@ type StageCompleted struct {
 	EventMeta
 	Stage    string
 	Artifact any
+	// Cached marks a planning stage replayed from the System's plan
+	// cache rather than recomputed; the artifact is the memoized one.
+	// Observers (including expert review) fire either way.
+	Cached bool
 }
 
 // StepStarted announces one workflow step being handed to a worker
@@ -76,6 +80,9 @@ type StepCompleted struct {
 	Step       string
 	Capability string
 	Duration   time.Duration
+	// Cached marks a step whose outputs were served from the step
+	// cache instead of executing the capability (Duration is zero).
+	Cached bool
 }
 
 // StepFailed reports one workflow step failing (capability error,
@@ -189,7 +196,7 @@ func (b *stepBridge) StepFinished(stat workflow.StepStat) {
 		return
 	}
 	b.observe(b.em.emit(&StepCompleted{
-		Step: stat.ID, Capability: stat.Capability, Duration: stat.Duration,
+		Step: stat.ID, Capability: stat.Capability, Duration: stat.Duration, Cached: stat.Cached,
 	}))
 }
 

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -39,6 +41,7 @@ type askConfig struct {
 	curate      bool
 	timeout     time.Duration
 	parallelism int
+	noCache     bool
 }
 
 // AskOption configures one Ask, AskStream, AskBatch or Submit call.
@@ -76,6 +79,16 @@ func AskObserver(obs Observer) AskOption {
 // call (curation is on by default).
 func AskWithoutCuration() AskOption {
 	return func(c *askConfig) { c.curate = false }
+}
+
+// AskNoCache bypasses the System's memoization for this call: the
+// plan cache is neither consulted nor populated and every workflow
+// step executes even if a cached result exists. Use it to force fresh
+// numbers (benchmark cold paths, A/B-ing a promotion) or when a
+// capability outside the builtin catalog is registered Pure but the
+// caller knows its inputs don't capture everything that matters.
+func AskNoCache() AskOption {
+	return func(c *askConfig) { c.noCache = true }
 }
 
 // AskTimeout bounds the call's wall-clock time, on top of whatever
@@ -137,6 +150,14 @@ type System struct {
 	// jobs is the async serving subsystem (see jobs.go); its worker
 	// pool starts lazily on the first Submit.
 	jobs jobTable
+
+	// planCache memoizes the planning half of the pipeline (QueryMind →
+	// WorkflowScout → SolutionWeaver) keyed by normalized query,
+	// registry generation and environment fingerprint; stepCache
+	// memoizes pure capability executions across runs (see cache.go).
+	// Both are shared by every serving surface.
+	planCache *lruCache
+	stepCache *lruCache
 }
 
 // maxHistory bounds the observation window curation mines. Patterns
@@ -144,6 +165,12 @@ type System struct {
 // before the window slides; the bound keeps per-call curation cost
 // flat in long-lived serving processes.
 const maxHistory = 512
+
+// historySlack delays trimming until the window overshoots by this
+// much, so the O(maxHistory) copy is amortized across many calls
+// instead of paid on every Ask of a saturated server — this keeps the
+// warm (fully cached) serving path cheap.
+const historySlack = 64
 
 // NewSystem assembles a pipeline. A nil registry uses the full builtin
 // catalog.
@@ -154,13 +181,44 @@ func NewSystem(env *Environment, reg *registry.Registry) (*System, error) {
 	if reg == nil {
 		reg = BuiltinRegistry()
 	}
+	env.ensureFingerprint()
 	return &System{
 		env: env, reg: reg,
 		queryMind: querymind.New(),
 		scout:     workflowscout.New(),
 		weaver:    solutionweaver.New(),
 		curator:   registrycurator.New(),
+		planCache: newLRUCache(DefaultPlanCacheEntries, 0),
+		stepCache: newLRUCache(DefaultStepCacheEntries, DefaultStepCacheBytes),
 	}, nil
+}
+
+// SetCacheLimits rebounds the System's memoization: planEntries bounds
+// the plan cache, stepEntries and stepBytes the step cache. A
+// non-positive entry bound disables that cache (and flushes it); a
+// non-positive stepBytes leaves the step cache bounded by entries
+// only. Unlike SetJobLimits it may be called at any time — shrinking
+// evicts immediately and in-flight runs simply miss.
+func (s *System) SetCacheLimits(planEntries, stepEntries int, stepBytes int64) {
+	s.planCache.SetLimits(planEntries, 0)
+	s.stepCache.SetLimits(stepEntries, stepBytes)
+}
+
+// CacheStats snapshots hit/miss/eviction counters and current
+// footprint for the plan and step caches.
+func (s *System) CacheStats() CacheStats {
+	return CacheStats{
+		Plan: s.planCache.Counters(),
+		Step: s.stepCache.Counters(),
+	}
+}
+
+// CacheStats is the observable state of a System's two caches.
+type CacheStats struct {
+	// Plan counts planning-layer memoization (whole-pipeline plans).
+	Plan CacheCounters
+	// Step counts execution-layer memoization (pure capability steps).
+	Step CacheCounters
 }
 
 // Registry exposes the live registry (it evolves as the curator
@@ -298,60 +356,9 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 	rep = &Report{Query: query}
 	defer func() { rep.Elapsed = time.Since(start) }()
 
-	// Language analysis + problem decomposition (QueryMind).
-	if err := ctx.Err(); err != nil {
-		return rep, pipelineErr(StageProblem, query, err)
-	}
-	if err := em.emit(&StageStarted{Stage: StageProblem}); err != nil {
-		return rep, pipelineErr(StageProblem, query, err)
-	}
-	rep.Spec = nlq.Parse(query, s.env.Catalog)
-	data := s.env.Data()
-	problem, err := s.queryMind.Analyze(rep.Spec, querymind.DataAvailability{
-		HasCrossLayerMap: data.HasCrossLayerMap,
-		MapCoverage:      data.MapCoverage,
-		HasTraceArchive:  data.HasTraceArchive,
-		HasBGPStream:     data.HasBGPStream,
-		WindowDays:       data.WindowDays,
-	})
+	solution, err := s.plan(ctx, query, cfg, em, rep)
 	if err != nil {
-		return rep, pipelineErr(StageProblem, query, err)
-	}
-	rep.Problem = problem
-	if err := em.emit(&StageCompleted{Stage: StageProblem, Artifact: problem}); err != nil {
-		return rep, pipelineErr(StageProblem, query, err)
-	}
-
-	// Solution space exploration (WorkflowScout).
-	if err := ctx.Err(); err != nil {
-		return rep, pipelineErr(StageDesign, query, err)
-	}
-	if err := em.emit(&StageStarted{Stage: StageDesign}); err != nil {
-		return rep, pipelineErr(StageDesign, query, err)
-	}
-	design, err := s.scout.Design(problem, s.reg)
-	if err != nil {
-		return rep, pipelineErr(StageDesign, query, err)
-	}
-	rep.Design = design
-	if err := em.emit(&StageCompleted{Stage: StageDesign, Artifact: design}); err != nil {
-		return rep, pipelineErr(StageDesign, query, err)
-	}
-
-	// Implementation (SolutionWeaver).
-	if err := ctx.Err(); err != nil {
-		return rep, pipelineErr(StageSolution, query, err)
-	}
-	if err := em.emit(&StageStarted{Stage: StageSolution}); err != nil {
-		return rep, pipelineErr(StageSolution, query, err)
-	}
-	solution, err := s.weaver.Weave(design.Chosen, s.reg)
-	if err != nil {
-		return rep, pipelineErr(StageSolution, query, err)
-	}
-	rep.Solution = solution
-	if err := em.emit(&StageCompleted{Stage: StageSolution, Artifact: solution}); err != nil {
-		return rep, pipelineErr(StageSolution, query, err)
+		return rep, err
 	}
 
 	// Execution over the parallel DAG engine. The step bridge surfaces
@@ -362,15 +369,20 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 	exCtx, cancelEx := context.WithCancel(ctx)
 	defer cancelEx()
 	bridge := &stepBridge{em: em, cancel: cancelEx}
-	engine := workflow.NewEngine(s.reg, s.env,
-		workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge))
+	engineOpts := []workflow.EngineOption{
+		workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge),
+	}
+	if !cfg.noCache {
+		engineOpts = append(engineOpts, workflow.WithCache(stepCacheAdapter{s.stepCache}, s.env.Fingerprint()))
+	}
+	engine := workflow.NewEngine(s.reg, s.env, engineOpts...)
 	result, err := engine.Run(exCtx, solution.Workflow)
 	rep.Result = result
 	s.mu.Lock()
 	s.history = append(s.history, registrycurator.Observation{
 		Workflow: solution.Workflow, Result: result, Err: err,
 	})
-	if len(s.history) > maxHistory {
+	if len(s.history) > maxHistory+historySlack {
 		trimmed := len(s.history) - maxHistory
 		s.history = append([]registrycurator.Observation(nil), s.history[trimmed:]...)
 		s.curatedThrough -= trimmed
@@ -412,10 +424,141 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 	return rep, nil
 }
 
+// planEntry is one memoized planning outcome: everything the three
+// planning agents produce for a query against one registry generation
+// and environment. Entries are shared across runs and must be treated
+// as immutable — the pipeline only ever reads these artifacts after
+// the planning stages complete.
+type planEntry struct {
+	spec     nlq.Spec
+	problem  *querymind.ProblemSpec
+	design   *workflowscout.Design
+	solution *solutionweaver.Solution
+}
+
+// planKey builds the plan-cache key. The registry generation makes a
+// curation promotion invalidate every previously cached plan: the
+// generation is read before planning starts, so a plan computed
+// against the pre-promotion catalog is only ever served to callers
+// that also observed the pre-promotion generation. Whitespace is the
+// only normalization applied to the query — anything stronger risks
+// conflating queries the parser distinguishes.
+func planKey(query string, gen uint64, envFP string) string {
+	return strings.Join(strings.Fields(query), " ") + "\x00" + strconv.FormatUint(gen, 10) + "\x00" + envFP
+}
+
+// plan runs (or replays) the three planning stages — QueryMind,
+// WorkflowScout, SolutionWeaver — filling rep and emitting stage
+// events either way, so observers and expert review behave identically
+// on hits and misses; cached replays mark their StageCompleted events
+// Cached. A veto or failure surfaces as a *PipelineError at the
+// corresponding stage.
+func (s *System) plan(ctx context.Context, query string, cfg askConfig, em *emitter, rep *Report) (*solutionweaver.Solution, error) {
+	key := ""
+	if !cfg.noCache {
+		key = planKey(query, s.reg.Generation(), s.env.Fingerprint())
+		if v, ok := s.planCache.Get(key); ok {
+			pe := v.(*planEntry)
+			// Fill rep stage by stage, just before each StageCompleted,
+			// so a veto or cancellation mid-replay leaves the same
+			// partial Report shape a fresh run would have left.
+			for _, st := range []struct {
+				stage    string
+				artifact any
+				fill     func()
+			}{
+				{StageProblem, pe.problem, func() { rep.Spec, rep.Problem = pe.spec, pe.problem }},
+				{StageDesign, pe.design, func() { rep.Design = pe.design }},
+				{StageSolution, pe.solution, func() { rep.Solution = pe.solution }},
+			} {
+				if err := ctx.Err(); err != nil {
+					return nil, pipelineErr(st.stage, query, err)
+				}
+				if err := em.emit(&StageStarted{Stage: st.stage}); err != nil {
+					return nil, pipelineErr(st.stage, query, err)
+				}
+				st.fill()
+				if err := em.emit(&StageCompleted{Stage: st.stage, Artifact: st.artifact, Cached: true}); err != nil {
+					return nil, pipelineErr(st.stage, query, err)
+				}
+			}
+			return pe.solution, nil
+		}
+	}
+
+	// Language analysis + problem decomposition (QueryMind).
+	if err := ctx.Err(); err != nil {
+		return nil, pipelineErr(StageProblem, query, err)
+	}
+	if err := em.emit(&StageStarted{Stage: StageProblem}); err != nil {
+		return nil, pipelineErr(StageProblem, query, err)
+	}
+	rep.Spec = nlq.Parse(query, s.env.Catalog)
+	data := s.env.Data()
+	problem, err := s.queryMind.Analyze(rep.Spec, querymind.DataAvailability{
+		HasCrossLayerMap: data.HasCrossLayerMap,
+		MapCoverage:      data.MapCoverage,
+		HasTraceArchive:  data.HasTraceArchive,
+		HasBGPStream:     data.HasBGPStream,
+		WindowDays:       data.WindowDays,
+	})
+	if err != nil {
+		return nil, pipelineErr(StageProblem, query, err)
+	}
+	rep.Problem = problem
+	if err := em.emit(&StageCompleted{Stage: StageProblem, Artifact: problem}); err != nil {
+		return nil, pipelineErr(StageProblem, query, err)
+	}
+
+	// Solution space exploration (WorkflowScout).
+	if err := ctx.Err(); err != nil {
+		return nil, pipelineErr(StageDesign, query, err)
+	}
+	if err := em.emit(&StageStarted{Stage: StageDesign}); err != nil {
+		return nil, pipelineErr(StageDesign, query, err)
+	}
+	design, err := s.scout.Design(problem, s.reg)
+	if err != nil {
+		return nil, pipelineErr(StageDesign, query, err)
+	}
+	rep.Design = design
+	if err := em.emit(&StageCompleted{Stage: StageDesign, Artifact: design}); err != nil {
+		return nil, pipelineErr(StageDesign, query, err)
+	}
+
+	// Implementation (SolutionWeaver).
+	if err := ctx.Err(); err != nil {
+		return nil, pipelineErr(StageSolution, query, err)
+	}
+	if err := em.emit(&StageStarted{Stage: StageSolution}); err != nil {
+		return nil, pipelineErr(StageSolution, query, err)
+	}
+	solution, err := s.weaver.Weave(design.Chosen, s.reg)
+	if err != nil {
+		return nil, pipelineErr(StageSolution, query, err)
+	}
+	rep.Solution = solution
+	if err := em.emit(&StageCompleted{Stage: StageSolution, Artifact: solution}); err != nil {
+		return nil, pipelineErr(StageSolution, query, err)
+	}
+
+	if key != "" {
+		pe := &planEntry{spec: rep.Spec, problem: problem, design: design, solution: solution}
+		// Plans are metadata-sized; charge a token amount so a byte
+		// bound, if ever set, stays meaningful.
+		s.planCache.Put(key, pe, int64(len(query))+int64(len(solution.Code))+512)
+	}
+	return solution, nil
+}
+
 // AskBatch serves many queries from one System, fanning out over a
-// bounded worker pool (AskParallelism sets the bound). Reports align
-// with queries by index; failed queries leave their partial report in
-// place and their *PipelineError joined into the returned error.
+// bounded worker pool (AskParallelism sets the bound). Duplicate
+// queries within one batch are deduplicated (singleflight): each
+// distinct query runs the pipeline once and every duplicate index
+// shares the same *Report, so observers fire once per distinct query.
+// Reports align with queries by index; failed queries leave their
+// partial report in place and their *PipelineError joined into the
+// returned error.
 func (s *System) AskBatch(ctx context.Context, queries []string, opts ...AskOption) ([]*Report, error) {
 	// Fast path: zero work means zero workers, channels and
 	// allocations beyond the empty (non-nil) result slice.
@@ -423,9 +566,22 @@ func (s *System) AskBatch(ctx context.Context, queries []string, opts ...AskOpti
 		return []*Report{}, nil
 	}
 	cfg := newAskConfig(opts)
+
+	// Singleflight: collapse identical queries to one pipeline run.
+	// Reports are read-only after a run, so duplicate indices can alias
+	// the same *Report safely.
+	firstIdx := make(map[string]int, len(queries))
+	var distinct []int
+	for i, q := range queries {
+		if _, dup := firstIdx[q]; !dup {
+			firstIdx[q] = i
+			distinct = append(distinct, i)
+		}
+	}
+
 	workers := cfg.parallelism
-	if workers > len(queries) {
-		workers = len(queries)
+	if workers > len(distinct) {
+		workers = len(distinct)
 	}
 	if workers < 1 {
 		workers = 1
@@ -453,11 +609,18 @@ func (s *System) AskBatch(ctx context.Context, queries []string, opts ...AskOpti
 			}
 		}()
 	}
-	for i := range queries {
+	for _, i := range distinct {
 		next <- i
 	}
 	close(next)
 	wg.Wait()
+	for i, q := range queries {
+		if first := firstIdx[q]; first != i {
+			// Duplicates share the run's Report; its error is already
+			// represented once in the joined error.
+			reports[i] = reports[first]
+		}
+	}
 	return reports, errors.Join(errs...)
 }
 

@@ -135,6 +135,11 @@ type Environment struct {
 	Analyzer *xaminer.Analyzer
 	Scenario *Scenario
 	Now      time.Time
+
+	// fpID/fpEpoch back Fingerprint(): a process-unique instance
+	// identity plus a mutation epoch bumped by scenario injection.
+	fpID    uint64
+	fpEpoch uint64
 }
 
 // envOf extracts the Environment from a registry call context.

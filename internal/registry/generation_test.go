@@ -1,0 +1,101 @@
+package registry
+
+// Generation contract: Register bumps it, failed registrations don't,
+// Clone preserves it (identical contents), Subset starts fresh, and
+// concurrent readers always see a value consistent with the catalog
+// they observe.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func genCap(name string) Capability {
+	return Capability{
+		Name: name, Framework: "gen", Description: "generation test capability",
+		Outputs: []Port{{Name: "out", Type: TString}},
+		Impl:    func(c *Call) error { c.Out["out"] = "x"; return nil },
+	}
+}
+
+func TestGenerationBumpsOnRegister(t *testing.T) {
+	r := New()
+	if g := r.Generation(); g != 0 {
+		t.Fatalf("fresh registry generation = %d, want 0", g)
+	}
+	for i := 1; i <= 3; i++ {
+		if err := r.Register(genCap(fmt.Sprintf("gen.c%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if g := r.Generation(); g != uint64(i) {
+			t.Fatalf("generation = %d after %d registrations", g, i)
+		}
+	}
+	// Failed registrations (duplicate) must not move the counter.
+	if err := r.Register(genCap("gen.c1")); err == nil {
+		t.Fatal("duplicate registration succeeded")
+	}
+	if g := r.Generation(); g != 3 {
+		t.Fatalf("generation = %d after failed registration, want 3", g)
+	}
+}
+
+func TestCloneGenerationPreserved(t *testing.T) {
+	r := New()
+	r.MustRegister(genCap("gen.a"))
+	r.MustRegister(genCap("gen.b"))
+	c := r.Clone()
+	if c.Generation() != r.Generation() {
+		t.Fatalf("clone generation %d != source %d", c.Generation(), r.Generation())
+	}
+	// Divergence after the copy is independent.
+	c.MustRegister(genCap("gen.c"))
+	if c.Generation() != r.Generation()+1 {
+		t.Fatalf("clone generation %d after register, source %d", c.Generation(), r.Generation())
+	}
+	if r.Generation() != 2 {
+		t.Fatalf("source generation moved to %d", r.Generation())
+	}
+}
+
+func TestSubsetGenerationFresh(t *testing.T) {
+	r := New()
+	for i := 0; i < 5; i++ {
+		r.MustRegister(genCap(fmt.Sprintf("gen.c%d", i)))
+	}
+	sub, err := r.Subset("gen.c0", "gen.c3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subset is a freshly built registry: its generation counts only
+	// its own registrations, not the source's history.
+	if g := sub.Generation(); g != 2 {
+		t.Fatalf("subset generation = %d, want 2", g)
+	}
+}
+
+func TestGenerationConcurrent(t *testing.T) {
+	r := New()
+	const writers, perWriter = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.MustRegister(genCap(fmt.Sprintf("gen.w%dc%d", w, i)))
+				// A generation read racing writers must never exceed the
+				// number of capabilities actually registered.
+				if g, n := r.Generation(), r.Size(); g > uint64(writers*perWriter) || int(g) < 1 || n < 1 {
+					t.Errorf("implausible generation %d (size %d)", g, n)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if g := r.Generation(); g != writers*perWriter {
+		t.Fatalf("final generation = %d, want %d", g, writers*perWriter)
+	}
+}

@@ -111,6 +111,14 @@ type Capability struct {
 	// Composite marks capabilities promoted by RegistryCurator from
 	// observed workflow patterns rather than hand-curated.
 	Composite bool `json:"composite,omitempty"`
+	// Pure declares the capability memoizable: given the same bound
+	// inputs and the same execution environment it always produces the
+	// same outputs and performs no externally visible side effects.
+	// Engines may serve a pure step's outputs from a cross-call cache
+	// instead of invoking Impl. Capabilities that read mutable external
+	// state, are randomized, or mutate the environment must leave Pure
+	// false (the default, which is always safe).
+	Pure bool `json:"pure,omitempty"`
 
 	Impl Func `json:"-"`
 }
@@ -165,6 +173,10 @@ var ErrNotFound = errors.New("registry: capability not found")
 type Registry struct {
 	mu   sync.RWMutex
 	caps map[string]*Capability
+	// gen counts successful registrations. Downstream caches key on it
+	// so a curation promotion invalidates anything planned against the
+	// smaller catalog.
+	gen uint64
 }
 
 // New returns an empty registry.
@@ -213,7 +225,21 @@ func (r *Registry) Register(c Capability) error {
 	}
 	cc := c
 	r.caps[c.Name] = &cc
+	r.gen++
 	return nil
+}
+
+// Generation returns a monotonic counter bumped by every successful
+// Register. Because capabilities are immutable and never removed, two
+// reads returning the same generation bracket an unchanged catalog —
+// plan caches key on it to stay coherent while the curator promotes
+// composites concurrently. Clone preserves the source's generation
+// (same catalog contents); Subset starts from zero and ends at the
+// number of capabilities copied, like any freshly built registry.
+func (r *Registry) Generation() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.gen
 }
 
 // MustRegister panics on registration failure; for built-in catalogs
@@ -334,7 +360,9 @@ func (r *Registry) Subset(names ...string) (*Registry, error) {
 }
 
 // Clone returns a deep copy of the registry (capabilities are copied;
-// implementations are shared function values).
+// implementations are shared function values). The clone inherits the
+// source's generation: its contents are identical, so caches keyed on
+// (catalog, generation) remain coherent across the copy.
 func (r *Registry) Clone() *Registry {
 	out := New()
 	r.mu.RLock()
@@ -343,6 +371,7 @@ func (r *Registry) Clone() *Registry {
 		cc := *c
 		out.caps[cc.Name] = &cc
 	}
+	out.gen = r.gen
 	return out
 }
 

@@ -2,14 +2,35 @@
 // typed DAG of capability invocations with static validation, an
 // execution engine with provenance recording, and the quality-check
 // machinery SolutionWeaver weaves into generated solutions.
+//
+// # Step memoization
+//
+// An Engine built WithCache consults a Cache before executing each
+// step whose result is provably reusable, and stores the outputs of
+// such steps after they run. Reusability is decided per step from a
+// deterministic fingerprint of the computation, not of the values
+// flowing through it: a step is fingerprintable when its capability is
+// registry.Pure, every literal input canonicalizes deterministically,
+// and every referenced producer step is itself fingerprintable. The
+// fingerprint hashes the capability name, the engine's environment
+// fingerprint, each literal input's canonical encoding, and — for
+// reference inputs — the producing step's fingerprint plus the port
+// read. Two steps with equal fingerprints therefore denote the same
+// pure computation over the same environment, so the cached output map
+// may be served verbatim; impure steps (and anything downstream of
+// them) always execute. Cache hits still fire Observer callbacks, with
+// StepStat.Cached set.
 package workflow
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -218,6 +239,9 @@ type StepStat struct {
 	Capability string
 	Duration   time.Duration
 	Err        error
+	// Cached marks a step whose outputs were served from the engine's
+	// Cache instead of invoking the capability.
+	Cached bool
 }
 
 // CheckResult records one evaluated quality check.
@@ -269,6 +293,20 @@ type Observer interface {
 	StepFinished(stat StepStat)
 }
 
+// Cache memoizes step results across runs. Keys are the deterministic
+// step fingerprints described in the package documentation; values are
+// the output maps pure capabilities produced for that fingerprint.
+// Implementations must be safe for concurrent use, and callers must
+// treat stored output maps (and the values inside them) as immutable —
+// one map may be shared by many runs. A Cache is free to drop entries
+// at any time (Get simply misses), so it can be size-bounded.
+type Cache interface {
+	// Get returns the cached output map for a step fingerprint.
+	Get(key string) (map[string]any, bool)
+	// Put stores the output map a step produced under its fingerprint.
+	Put(key string, outputs map[string]any)
+}
+
 // Engine executes validated workflows against a registry and a shared
 // environment value passed to every capability call. Steps whose
 // inputs do not depend on each other run concurrently, bounded by the
@@ -279,6 +317,8 @@ type Engine struct {
 	env         any
 	parallelism int
 	observers   []Observer
+	cache       Cache
+	envFP       string
 }
 
 // EngineOption configures an Engine.
@@ -301,6 +341,18 @@ func WithObserver(o Observer) EngineOption {
 	}
 }
 
+// WithCache memoizes pure steps through c. envFingerprint must
+// uniquely identify the execution environment the engine runs against:
+// it is mixed into every step fingerprint, so results computed over
+// one environment are never served to another. A nil cache disables
+// memoization (the default).
+func WithCache(c Cache, envFingerprint string) EngineOption {
+	return func(e *Engine) {
+		e.cache = c
+		e.envFP = envFingerprint
+	}
+}
+
 // NewEngine builds an engine.
 func NewEngine(reg *registry.Registry, env any, opts ...EngineOption) *Engine {
 	e := &Engine{reg: reg, env: env, parallelism: runtime.GOMAXPROCS(0)}
@@ -319,6 +371,94 @@ type stepDone struct {
 	capb *registry.Capability
 	stat StepStat
 	out  map[string]any
+}
+
+// fingerprints computes the per-step cache keys for a validated
+// workflow, in step order (steps only reference earlier steps, so one
+// forward pass suffices). An empty string marks a step that must not
+// be memoized: its capability is not Pure, a literal input has no
+// deterministic canonical form, or it depends on such a step.
+func (e *Engine) fingerprints(w *Workflow, index map[string]int) []string {
+	fps := make([]string, len(w.Steps))
+	// One reusable buffer keeps fingerprinting allocation-free on the
+	// hot serving path; keys are raw 32-byte digests (in-process map
+	// keys, never displayed).
+	buf := make([]byte, 0, 256)
+	var names []string
+	// Each part is length-prefixed so parts containing any byte
+	// sequence (literals come from arbitrary user queries) can never
+	// forge a field boundary and collide two distinct input sets.
+	field := func(b []byte, parts ...string) []byte {
+		for _, p := range parts {
+			b = strconv.AppendInt(b, int64(len(p)), 10)
+			b = append(b, ':')
+			b = append(b, p...)
+		}
+		return b
+	}
+	for i, s := range w.Steps {
+		capb, err := e.reg.Get(s.Capability)
+		if err != nil || !capb.Pure {
+			continue
+		}
+		buf = field(buf[:0], "cap", s.Capability, "env", e.envFP)
+		names = names[:0]
+		for name := range s.Inputs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		ok := true
+		for _, name := range names {
+			b := s.Inputs[name]
+			if b.IsRef() {
+				up := fps[index[RefStepID(b.Ref)]]
+				if up == "" {
+					ok = false
+					break
+				}
+				buf = field(buf, "r", name, up, RefPort(b.Ref))
+				continue
+			}
+			lit, err := canonicalValue(b.Literal)
+			if err != nil {
+				ok = false
+				break
+			}
+			buf = field(buf, "l", name, lit)
+		}
+		if ok {
+			sum := sha256.Sum256(buf)
+			fps[i] = string(sum[:])
+		}
+	}
+	return fps
+}
+
+// canonicalValue renders a literal input deterministically. Scalars
+// are encoded directly; everything else round-trips through
+// encoding/json, whose map-key ordering and struct-field ordering are
+// stable. Values JSON cannot represent (functions, channels, cyclic
+// graphs) make the step non-memoizable rather than silently colliding.
+func canonicalValue(v any) (string, error) {
+	switch x := v.(type) {
+	case nil:
+		return "z", nil
+	case string:
+		return "s" + x, nil
+	case bool:
+		return "b" + strconv.FormatBool(x), nil
+	case int:
+		return "i" + strconv.Itoa(x), nil
+	case int64:
+		return "i" + strconv.FormatInt(x, 10), nil
+	case float64:
+		return "f" + strconv.FormatFloat(x, 'g', -1, 64), nil
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return "", err
+	}
+	return "j" + string(b), nil
 }
 
 // Run validates and executes the workflow. Ready steps (all Ref
@@ -349,7 +489,7 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 			if !b.IsRef() {
 				continue
 			}
-			src := index[refStepID(b.Ref)]
+			src := index[RefStepID(b.Ref)]
 			if !from[src] {
 				from[src] = true
 				dependents[src] = append(dependents[src], i)
@@ -366,14 +506,91 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 		}
 	}
 
+	// Cache keys are computed up front from the plan alone; a step with
+	// an empty fingerprint is never memoized.
+	var fps []string
+	if e.cache != nil {
+		fps = e.fingerprints(w, index)
+	}
+
 	// Scheduler loop: the only goroutine that touches res; workers get
 	// a prebuilt input map and report on the done channel.
 	done := make(chan stepDone)
 	running := 0
 	var firstErr error
+
+	// settle folds one completed step into the result: stats,
+	// provenance, output-contract verification, cache write-back, and
+	// dependent release. It runs only on the scheduler goroutine.
+	settle := func(d stepDone) {
+		s := w.Steps[d.idx]
+		res.Steps = append(res.Steps, d.stat)
+		if d.stat.Err != nil {
+			res.Provenance = append(res.Provenance,
+				fmt.Sprintf("step %s (%s): FAILED: %v", s.ID, s.Capability, d.stat.Err))
+			if firstErr == nil {
+				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: d.stat.Err}
+			}
+			e.stepFinished(d.stat)
+			return
+		}
+		// Verify the implementation honored its contract.
+		var contractErr error
+		for _, out := range d.capb.Outputs {
+			v, ok := d.out[out.Name]
+			if !ok {
+				contractErr = fmt.Errorf("capability %q did not produce output %q", s.Capability, out.Name)
+				break
+			}
+			res.Values[s.ID+"."+out.Name] = v
+		}
+		if contractErr != nil {
+			if firstErr == nil {
+				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: contractErr}
+			}
+			notify := d.stat
+			notify.Err = contractErr
+			e.stepFinished(notify)
+			return
+		}
+		if d.stat.Cached {
+			res.Provenance = append(res.Provenance,
+				fmt.Sprintf("step %s (%s): ok (cached)", s.ID, s.Capability))
+		} else {
+			if fps != nil && fps[d.idx] != "" {
+				e.cache.Put(fps[d.idx], d.out)
+			}
+			res.Provenance = append(res.Provenance,
+				fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, d.stat.Duration.Round(time.Microsecond)))
+		}
+		e.stepFinished(d.stat)
+		for _, j := range dependents[d.idx] {
+			indegree[j]--
+			if indegree[j] == 0 {
+				ready = append(ready, j)
+			}
+		}
+	}
+
 	launch := func(i int) {
 		s := w.Steps[i]
 		capb, _ := e.reg.Get(s.Capability)
+		for _, o := range e.observers {
+			o.StepStarted(s.ID, s.Capability)
+		}
+		// Memoized pure step: serve the cached outputs inline on the
+		// scheduler goroutine — no worker, no capability call.
+		if fps != nil && fps[i] != "" {
+			if out, ok := e.cache.Get(fps[i]); ok {
+				settle(stepDone{
+					idx:  i,
+					capb: capb,
+					stat: StepStat{ID: s.ID, Capability: s.Capability, Cached: true},
+					out:  out,
+				})
+				return
+			}
+		}
 		in := make(map[string]any, len(s.Inputs))
 		for name, b := range s.Inputs {
 			if b.IsRef() {
@@ -381,9 +598,6 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 			} else {
 				in[name] = b.Literal
 			}
-		}
-		for _, o := range e.observers {
-			o.StepStarted(s.ID, s.Capability)
 		}
 		running++
 		go func() {
@@ -419,45 +633,7 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 		}
 		d := <-done
 		running--
-		s := w.Steps[d.idx]
-		res.Steps = append(res.Steps, d.stat)
-		if d.stat.Err != nil {
-			res.Provenance = append(res.Provenance,
-				fmt.Sprintf("step %s (%s): FAILED: %v", s.ID, s.Capability, d.stat.Err))
-			if firstErr == nil {
-				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: d.stat.Err}
-			}
-			e.stepFinished(d.stat)
-			continue
-		}
-		// Verify the implementation honored its contract.
-		var contractErr error
-		for _, out := range d.capb.Outputs {
-			v, ok := d.out[out.Name]
-			if !ok {
-				contractErr = fmt.Errorf("capability %q did not produce output %q", s.Capability, out.Name)
-				break
-			}
-			res.Values[s.ID+"."+out.Name] = v
-		}
-		if contractErr != nil {
-			if firstErr == nil {
-				firstErr = &StepError{Step: s.ID, Capability: s.Capability, Err: contractErr}
-			}
-			notify := d.stat
-			notify.Err = contractErr
-			e.stepFinished(notify)
-			continue
-		}
-		res.Provenance = append(res.Provenance,
-			fmt.Sprintf("step %s (%s): ok in %v", s.ID, s.Capability, d.stat.Duration.Round(time.Microsecond)))
-		e.stepFinished(d.stat)
-		for _, j := range dependents[d.idx] {
-			indegree[j]--
-			if indegree[j] == 0 {
-				ready = append(ready, j)
-			}
-		}
+		settle(d)
 	}
 
 	// Stable reporting: stats in workflow step order regardless of
@@ -492,12 +668,23 @@ func (e *Engine) stepFinished(stat StepStat) {
 	}
 }
 
-// refStepID extracts the producing step ID from a "stepID.port" ref.
-func refStepID(ref string) string {
+// RefStepID extracts the producing step ID from a "stepID.port" ref.
+// This is the one parser of the ref wire format; planners and tests
+// share it rather than re-splitting refs themselves.
+func RefStepID(ref string) string {
 	if i := strings.IndexByte(ref, '.'); i >= 0 {
 		return ref[:i]
 	}
 	return ref
+}
+
+// RefPort extracts the port name from a "stepID.port" ref, or "" when
+// the ref names a whole step.
+func RefPort(ref string) string {
+	if i := strings.IndexByte(ref, '.'); i >= 0 {
+		return ref[i+1:]
+	}
+	return ""
 }
 
 // Describe renders a compact human-readable plan of the workflow.
