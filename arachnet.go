@@ -41,6 +41,12 @@
 // with System.CacheStats, tune or disable with System.SetCacheLimits,
 // and bypass per call with AskNoCache.
 //
+// For serving over the network, cmd/arachnet-serve exposes the same
+// pipeline as a multi-tenant HTTP/JSON + SSE service (package
+// internal/serve): each tenant gets its own registry view and cache
+// quotas, and all tenants compete for one worker pool through a shared
+// weighted-fair Scheduler (System.SetScheduler).
+//
 // Quickstart:
 //
 //	sys, err := arachnet.New(arachnet.WithSeed(42))
@@ -137,7 +143,26 @@ type (
 	CacheStats = core.CacheStats
 	// CacheCounters is the hit/miss/eviction state of one cache.
 	CacheCounters = core.CacheCounters
+	// JobSummary is a serialization-friendly snapshot of one Job.
+	JobSummary = core.JobSummary
+	// Scheduler is a weighted-fair job queue plus its worker pool;
+	// share one across Systems via System.SetScheduler for
+	// multi-tenant serving (see internal/serve and cmd/arachnet-serve
+	// for the HTTP tier built on it).
+	Scheduler = core.Scheduler
+	// ClassConfig weights and bounds one scheduling class.
+	ClassConfig = core.ClassConfig
+	// ClassStats is the observable state of one scheduling class.
+	ClassStats = core.ClassStats
+	// QueueStats is the observable state of a Scheduler.
+	QueueStats = core.QueueStats
 )
+
+// NewScheduler builds a shared weighted-fair scheduler with the given
+// worker-pool size and global queue depth (non-positive values mean
+// GOMAXPROCS workers and depth 128). Attach Systems to it with
+// System.SetScheduler(sched, class) before their first Submit.
+func NewScheduler(workers, depth int) *Scheduler { return core.NewScheduler(workers, depth) }
 
 // Default cache bounds applied by New; see System.SetCacheLimits. A
 // flush is a disable/re-enable cycle: SetCacheLimits(0, 0, 0) followed

@@ -1,0 +1,139 @@
+// Command arachnet-serve runs the ArachNet pipeline as a long-lived
+// multi-tenant HTTP service: synchronous asks, asynchronous jobs with
+// SSE event streaming, cancellation, and cache/queue stats, all over
+// one simulated world with per-tenant registry views, cache quotas and
+// weighted-fair scheduling.
+//
+// Examples:
+//
+//	arachnet-serve -addr :8080 -world small
+//	arachnet-serve -addr :8080 -scenario -tenants tenants.json -workers 8
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/ask \
+//	  -d '{"query":"Identify the impact at a country level due to SeaMeWe-5 cable failure"}'
+//
+// A tenants.json file is a JSON array of tenant configurations:
+//
+//	[
+//	  {"name": "alice", "weight": 3, "max_running": 4},
+//	  {"name": "bob", "weight": 1, "max_queued": 16, "token": "s3cret"}
+//	]
+//
+// With no -tenants file the server runs one open tenant named
+// "default". SIGINT/SIGTERM triggers a graceful shutdown: new requests
+// are refused, accepted jobs drain (bounded by -drain-timeout), then
+// the process exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"arachnet/internal/core"
+	"arachnet/internal/netsim"
+	"arachnet/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		world        = flag.String("world", "full", "world size: full|small")
+		seed         = flag.Uint64("seed", 42, "world seed")
+		scenario     = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (enables cascade/forensic queries)")
+		workers      = flag.Int("workers", 0, "scheduler worker pool size (0 = GOMAXPROCS)")
+		depth        = flag.Int("depth", 0, "global job queue depth (0 = default 128)")
+		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-request pipeline timeout (0 = unbounded)")
+		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested timeouts (0 = uncapped)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		tenantsPath  = flag.String("tenants", "", "path to a JSON array of tenant configurations (empty = one open tenant)")
+	)
+	flag.Parse()
+
+	var worldCfg netsim.Config
+	switch *world {
+	case "full":
+		worldCfg = netsim.DefaultConfig(*seed)
+	case "small":
+		worldCfg = netsim.SmallConfig(*seed)
+	default:
+		fatal(fmt.Errorf("unknown world %q", *world))
+	}
+	env, err := core.NewEnvironment(worldCfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *scenario {
+		if err := env.InjectCableFailureScenario(core.ScenarioConfig{Seed: *seed}); err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := serve.Config{
+		Env:            env,
+		Workers:        *workers,
+		QueueDepth:     *depth,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	}
+	if *tenantsPath != "" {
+		data, err := os.ReadFile(*tenantsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &cfg.Tenants); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *tenantsPath, err))
+		}
+	}
+
+	server, err := serve.NewServer(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: server}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("arachnet-serve: listening on %s (world=%s, tenants=%d)",
+			*addr, *world, max(1, len(cfg.Tenants)))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("arachnet-serve: draining (up to %v)...", *drainTimeout)
+
+	// Refuse new work and drain accepted jobs first; in-flight SSE
+	// streams and synchronous asks then finish on their own, so the
+	// HTTP shutdown below completes promptly.
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := server.Shutdown(drainCtx); err != nil {
+		log.Printf("arachnet-serve: drain incomplete: %v", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("arachnet-serve: http shutdown: %v", err)
+	}
+	log.Printf("arachnet-serve: bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "arachnet-serve:", err)
+	os.Exit(1)
+}

@@ -33,13 +33,14 @@ const (
 // CacheCounters is the observable state of one cache.
 type CacheCounters struct {
 	// Hits and Misses count Get outcomes since construction.
-	Hits, Misses int64
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
 	// Evictions counts entries dropped to honor the size bounds.
-	Evictions int64
+	Evictions int64 `json:"evictions"`
 	// Entries is the current number of cached entries.
-	Entries int
+	Entries int `json:"entries"`
 	// Bytes is the current estimated footprint of cached values.
-	Bytes int64
+	Bytes int64 `json:"bytes"`
 }
 
 // HitRatio returns Hits / (Hits + Misses), or 0 before any lookup.

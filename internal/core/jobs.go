@@ -1,15 +1,18 @@
-// Async serving: a bounded-queue job scheduler that turns one System
+// Async serving: a bounded-queue job subsystem that turns one System
 // into a long-lived server. Submit enqueues a query and returns a Job
-// immediately; a lazily-started worker pool drains the queue through
-// the same event-emitting pipeline that backs Ask and AskStream. Jobs
-// are tracked (Jobs), observable (Events), awaitable (Wait) and
-// cancellable (Cancel) — queued or mid-run.
+// immediately; a lazily-started worker pool (owned by a Scheduler, see
+// scheduler.go) drains the queue through the same event-emitting
+// pipeline that backs Ask and AskStream. Jobs are tracked (Jobs),
+// observable (Events), awaitable (Wait) and cancellable (Cancel) —
+// queued or mid-run. By default each System gets a private single-class
+// scheduler (plain bounded FIFO); SetScheduler attaches a shared
+// weighted-fair one instead, the seam the multi-tenant HTTP tier uses.
 package core
 
 import (
 	"context"
 	"errors"
-	"runtime"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -47,6 +50,12 @@ type Job struct {
 	id    uint64
 	query string
 	opts  []AskOption
+	// sys is the System that submitted the job: scheduler workers run
+	// each job on its own System, so a shared pool serves many isolated
+	// registries and caches. class is the scheduling class the System
+	// was attached under (empty for a private scheduler).
+	sys   *System
+	class string
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -66,6 +75,42 @@ func (j *Job) ID() uint64 { return j.id }
 
 // Query returns the job's natural-language query.
 func (j *Job) Query() string { return j.query }
+
+// Class returns the scheduling class the job was submitted under
+// (empty unless the System is attached to a shared Scheduler).
+func (j *Job) Class() string { return j.class }
+
+// JobSummary is a serialization-friendly snapshot of one job, the
+// shape the HTTP tier returns from its job-listing endpoints.
+type JobSummary struct {
+	ID    uint64   `json:"id"`
+	Query string   `json:"query"`
+	Class string   `json:"class,omitempty"`
+	State JobState `json:"state"`
+	// Error is the terminal error text, empty while in flight or on
+	// success.
+	Error string `json:"error,omitempty"`
+	// Elapsed is the finished run's wall-clock time in nanoseconds
+	// (JSON's default encoding for time.Duration); zero while in
+	// flight.
+	Elapsed time.Duration `json:"elapsed,omitempty"`
+}
+
+// Summary snapshots the job without blocking.
+func (j *Job) Summary() JobSummary {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := JobSummary{ID: j.id, Query: j.query, Class: j.class, State: j.state}
+	if j.state.terminal() {
+		if j.err != nil {
+			out.Error = j.err.Error()
+		}
+		if j.report != nil {
+			out.Elapsed = j.report.Elapsed
+		}
+	}
+	return out
+}
 
 // State returns the job's current lifecycle phase.
 func (j *Job) State() JobState {
@@ -216,27 +261,34 @@ func (j *Job) finishLocked(rep *Report, err error) {
 	j.cond.Broadcast()
 }
 
-// jobTable is the System's async serving state: the bounded queue, the
-// lazily-started worker pool, and the submission-ordered job index.
+// jobTable is the System's async serving state: the scheduler the
+// System routes jobs through (private by default, shared via
+// SetScheduler) and the submission-ordered job index.
 type jobTable struct {
 	mu      sync.Mutex
 	workers int
 	depth   int
-	queue   chan *Job
+	sched   *Scheduler
+	// private marks a scheduler this System created for itself (and so
+	// owns: Close closes it). An attached shared scheduler is left
+	// running for its other Systems.
+	private bool
+	class   string
 	closed  bool
 	nextID  uint64
 	jobs    []*Job
 }
 
-// SetJobLimits configures the async serving pool: workers is the
-// number of concurrent pipeline runs, depth the bound of the waiting
-// queue. Non-positive values keep the defaults (GOMAXPROCS workers,
-// depth 128). It must be called before the first Submit; afterwards it
-// fails with ErrJobsStarted.
+// SetJobLimits configures the private async serving pool: workers is
+// the number of concurrent pipeline runs, depth the bound of the
+// waiting queue. Non-positive values keep the defaults (GOMAXPROCS
+// workers, depth 128). It must be called before the first Submit (and
+// is mutually exclusive with SetScheduler — a shared scheduler brings
+// its own pool); afterwards it fails with ErrJobsStarted.
 func (s *System) SetJobLimits(workers, depth int) error {
 	s.jobs.mu.Lock()
 	defer s.jobs.mu.Unlock()
-	if s.jobs.queue != nil {
+	if s.jobs.sched != nil {
 		return ErrJobsStarted
 	}
 	s.jobs.workers = workers
@@ -244,9 +296,31 @@ func (s *System) SetJobLimits(workers, depth int) error {
 	return nil
 }
 
+// SetScheduler attaches the System to a shared Scheduler under the
+// given scheduling class: subsequent Submits compete for the shared
+// worker pool according to the class's weight and bounds, while the
+// System keeps its own registry, caches and job table — the isolation
+// seam the multi-tenant serving tier builds on. It must be called
+// before the first Submit; afterwards (or after a previous attach) it
+// fails with ErrJobsStarted.
+func (s *System) SetScheduler(sc *Scheduler, class string) error {
+	if sc == nil {
+		return fmt.Errorf("core: nil scheduler")
+	}
+	s.jobs.mu.Lock()
+	defer s.jobs.mu.Unlock()
+	if s.jobs.sched != nil {
+		return ErrJobsStarted
+	}
+	s.jobs.sched = sc
+	s.jobs.class = class
+	return nil
+}
+
 // Submit enqueues a query for asynchronous execution and returns its
 // Job immediately. The first Submit starts the worker pool. If the
-// bounded queue is full, Submit fails fast with ErrJobQueueFull rather
+// bounded queue (global depth, or the System's class bound on a shared
+// scheduler) is full, Submit fails fast with ErrJobQueueFull rather
 // than blocking the caller — shed load or retry later. Cancelling ctx
 // cancels the job, queued or running; per-call AskOptions apply when
 // the job runs.
@@ -258,6 +332,7 @@ func (s *System) Submit(ctx context.Context, query string, opts ...AskOption) (*
 	j := &Job{
 		query:  query,
 		opts:   opts,
+		sys:    s,
 		ctx:    jctx,
 		cancel: cancel,
 		state:  JobQueued,
@@ -271,13 +346,12 @@ func (s *System) Submit(ctx context.Context, query string, opts ...AskOption) (*
 		cancel()
 		return nil, ErrJobsClosed
 	}
-	s.ensureWorkersLocked()
-	select {
-	case s.jobs.queue <- j:
-	default:
+	s.ensureSchedulerLocked()
+	j.class = s.jobs.class
+	if err := s.jobs.sched.enqueue(j); err != nil {
 		s.jobs.mu.Unlock()
 		cancel()
-		return nil, ErrJobQueueFull
+		return nil, err
 	}
 	s.jobs.nextID++
 	j.id = s.jobs.nextID
@@ -287,13 +361,15 @@ func (s *System) Submit(ctx context.Context, query string, opts ...AskOption) (*
 	return j, nil
 }
 
-// Close shuts the async serving subsystem down: subsequent Submits
-// fail with ErrJobsClosed, workers exit once the queue drains, and
-// already-accepted jobs — queued or running — complete normally (use
-// Cancel to abort them). Close is idempotent, returns without waiting
-// for in-flight jobs, and leaves the blocking surfaces (Ask,
-// AskStream, AskBatch) untouched. A System that never Submitted has
-// no workers to stop.
+// Close shuts the System's async serving down: subsequent Submits fail
+// with ErrJobsClosed and already-accepted jobs — queued or running —
+// complete normally (use Cancel to abort them). A private scheduler is
+// closed with the System (its workers exit once the queue drains); a
+// shared scheduler attached with SetScheduler is left running for its
+// other Systems. Close is idempotent, safe to call concurrently with
+// Submit (the shutdown path races them by design), returns without
+// waiting for in-flight jobs, and leaves the blocking surfaces (Ask,
+// AskStream, AskBatch) untouched.
 func (s *System) Close() {
 	s.jobs.mu.Lock()
 	defer s.jobs.mu.Unlock()
@@ -301,8 +377,8 @@ func (s *System) Close() {
 		return
 	}
 	s.jobs.closed = true
-	if s.jobs.queue != nil {
-		close(s.jobs.queue)
+	if s.jobs.private && s.jobs.sched != nil {
+		s.jobs.sched.Close()
 	}
 }
 
@@ -316,24 +392,15 @@ func (s *System) Jobs() []*Job {
 	return out
 }
 
-// ensureWorkersLocked starts the queue and worker pool once, applying
-// configured or default limits. Callers hold jobs.mu.
-func (s *System) ensureWorkersLocked() {
-	if s.jobs.queue != nil {
+// ensureSchedulerLocked creates the System's private scheduler on
+// first use, applying configured or default limits. A scheduler
+// attached with SetScheduler takes precedence. Callers hold jobs.mu.
+func (s *System) ensureSchedulerLocked() {
+	if s.jobs.sched != nil {
 		return
 	}
-	workers := s.jobs.workers
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	depth := s.jobs.depth
-	if depth < 1 {
-		depth = defaultJobQueueDepth
-	}
-	s.jobs.queue = make(chan *Job, depth)
-	for i := 0; i < workers; i++ {
-		go s.jobWorker()
-	}
+	s.jobs.sched = NewScheduler(s.jobs.workers, s.jobs.depth)
+	s.jobs.private = true
 }
 
 // pruneJobsLocked drops the oldest finished jobs beyond the retention
@@ -357,30 +424,28 @@ func (s *System) pruneJobsLocked() {
 	s.jobs.jobs = kept
 }
 
-// jobWorker drains the queue for the System's lifetime, running each
-// job through the shared event-emitting pipeline with the job's event
-// log as the sink.
-func (s *System) jobWorker() {
-	for j := range s.jobs.queue {
-		j.mu.Lock()
-		if j.state != JobQueued { // cancelled while waiting
-			j.mu.Unlock()
-			continue
-		}
-		j.state = JobRunning
+// serveJob runs one dequeued job through the shared event-emitting
+// pipeline with the job's event log as the sink. Scheduler workers
+// call it on the job's own System.
+func (s *System) serveJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while waiting
 		j.mu.Unlock()
-
-		cfg := newAskConfig(j.opts)
-		em := &emitter{query: j.query, observers: cfg.observers, sink: j.record}
-		rep, err := s.run(j.ctx, j.query, cfg, em)
-		em.emit(&Done{Report: rep, Err: err})
-		j.finish(rep, err)
-		// Release the job's context now that the run is over: this
-		// unchains it from the Submit parent (no accumulation under a
-		// long-lived server ctx) and starts the grace clock for any
-		// abandoned Events subscribers.
-		j.cancel()
+		return
 	}
+	j.state = JobRunning
+	j.mu.Unlock()
+
+	cfg := newAskConfig(j.opts)
+	em := &emitter{query: j.query, observers: cfg.observers, sink: j.record}
+	rep, err := s.run(j.ctx, j.query, cfg, em)
+	em.emit(&Done{Report: rep, Err: err})
+	j.finish(rep, err)
+	// Release the job's context now that the run is over: this
+	// unchains it from the Submit parent (no accumulation under a
+	// long-lived server ctx) and starts the grace clock for any
+	// abandoned Events subscribers.
+	j.cancel()
 }
 
 // jobDoneEvent synthesizes the terminal event for jobs cancelled while

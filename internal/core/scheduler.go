@@ -1,0 +1,339 @@
+// Job scheduling: the fairness seam between Submit and the worker
+// pool. A Scheduler owns the bounded queue and the workers that drain
+// it; every System routes its async jobs through one. A System that
+// never calls SetScheduler gets a private single-class scheduler whose
+// behavior is exactly the historical FIFO queue, while a serving tier
+// can share one Scheduler across many Systems (one per tenant) to get
+// weighted-fair dequeue, per-class concurrency caps and per-class
+// admission control — the multi-tenant story the HTTP tier builds on.
+//
+// Fairness is stride scheduling: each class carries a virtual "pass";
+// dequeue picks the runnable class with the lowest pass and advances it
+// by stride/weight, so over time classes receive worker bandwidth
+// proportional to their weights regardless of how bursty their arrival
+// patterns are. A class at its MaxRunning cap simply stops being
+// runnable — its pass freezes, so it loses no credit while capped.
+package core
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// strideScale is the numerator of a class's per-dequeue pass advance
+// (stride = strideScale / weight). Any large constant works; a power of
+// two keeps float64 arithmetic exact for small weights.
+const strideScale = 1 << 16
+
+// ClassConfig bounds and weights one scheduling class (in the serving
+// tier: one tenant).
+type ClassConfig struct {
+	// Weight is the class's share of dequeue bandwidth relative to the
+	// other classes (default 1; non-positive values mean 1).
+	Weight int `json:"weight,omitempty"`
+	// MaxQueued bounds how many jobs of this class may wait for a
+	// worker; beyond it Submit sheds with ErrJobQueueFull. Zero means
+	// bounded only by the scheduler's global depth.
+	MaxQueued int `json:"max_queued,omitempty"`
+	// MaxRunning caps how many jobs of this class run concurrently.
+	// Zero means bounded only by the worker pool.
+	MaxRunning int `json:"max_running,omitempty"`
+}
+
+// weight returns the effective (positive) weight.
+func (c ClassConfig) weight() int {
+	if c.Weight < 1 {
+		return 1
+	}
+	return c.Weight
+}
+
+// ClassStats is the observable state of one scheduling class.
+type ClassStats struct {
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
+	Served     int64 `json:"served"`
+	Shed       int64 `json:"shed"`
+	Weight     int   `json:"weight"`
+	MaxQueued  int   `json:"max_queued,omitempty"`
+	MaxRunning int   `json:"max_running,omitempty"`
+}
+
+// QueueStats is the observable state of a Scheduler.
+type QueueStats struct {
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+	Workers int `json:"workers"`
+	Depth   int `json:"depth"`
+	// Shed counts jobs refused for any reason (global depth or a
+	// per-class bound) since construction.
+	Shed    int64                 `json:"shed"`
+	Classes map[string]ClassStats `json:"classes,omitempty"`
+}
+
+// schedClass is one class's queue state. The fifo is a slice with a
+// moving head, compacted when the dead prefix dominates.
+type schedClass struct {
+	name    string
+	cfg     ClassConfig
+	fifo    []*Job
+	head    int
+	pass    float64
+	running int
+	served  int64
+	shed    int64
+}
+
+func (c *schedClass) queued() int { return len(c.fifo) - c.head }
+
+func (c *schedClass) push(j *Job) { c.fifo = append(c.fifo, j) }
+
+func (c *schedClass) pop() *Job {
+	j := c.fifo[c.head]
+	c.fifo[c.head] = nil
+	c.head++
+	if c.head > 64 && c.head*2 >= len(c.fifo) {
+		c.fifo = append(c.fifo[:0], c.fifo[c.head:]...)
+		c.head = 0
+	}
+	return j
+}
+
+// runnable reports whether the class has a job a worker may take now.
+func (c *schedClass) runnable() bool {
+	return c.queued() > 0 && (c.cfg.MaxRunning <= 0 || c.running < c.cfg.MaxRunning)
+}
+
+// Scheduler is a weighted-fair job queue plus the worker pool that
+// drains it. All methods are safe for concurrent use. The worker pool
+// starts lazily on the first enqueued job and exits after Close once
+// the queue is empty; already-accepted jobs always run (cancel them
+// individually to abort). One Scheduler may be shared by many Systems
+// via System.SetScheduler — each job runs on the System that submitted
+// it, so tenants keep their own registries and caches while competing
+// for one pool.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers int
+	depth   int
+	started bool
+	closed  bool
+	classes map[string]*schedClass
+	queued  int
+	running int
+	vtime   float64
+	shed    int64
+}
+
+// NewScheduler builds a scheduler with the given worker-pool size and
+// global queue depth. Non-positive values take the defaults (GOMAXPROCS
+// workers, depth 128).
+func NewScheduler(workers, depth int) *Scheduler {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth < 1 {
+		depth = defaultJobQueueDepth
+	}
+	sc := &Scheduler{workers: workers, depth: depth, classes: make(map[string]*schedClass)}
+	sc.cond = sync.NewCond(&sc.mu)
+	return sc
+}
+
+// SetClass configures (or reconfigures) one scheduling class. Classes
+// not configured explicitly come into existence on first use with
+// weight 1 and no per-class bounds. SetClass may be called at any time;
+// loosening MaxRunning takes effect immediately.
+func (sc *Scheduler) SetClass(name string, cfg ClassConfig) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.classLocked(name).cfg = cfg
+	sc.cond.Broadcast()
+}
+
+func (sc *Scheduler) classLocked(name string) *schedClass {
+	c, ok := sc.classes[name]
+	if !ok {
+		c = &schedClass{name: name, pass: sc.vtime}
+		sc.classes[name] = c
+	}
+	return c
+}
+
+// enqueue admits one job or sheds it. Shedding is ErrJobQueueFull for
+// both the global depth and a per-class MaxQueued bound; a closed
+// scheduler refuses with ErrJobsClosed.
+func (sc *Scheduler) enqueue(j *Job) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		return ErrJobsClosed
+	}
+	if sc.queued >= sc.depth {
+		sc.shed++
+		return fmt.Errorf("%w (depth %d)", ErrJobQueueFull, sc.depth)
+	}
+	c := sc.classLocked(j.class)
+	if c.cfg.MaxQueued > 0 && c.queued() >= c.cfg.MaxQueued {
+		c.shed++
+		sc.shed++
+		return fmt.Errorf("%w (class %q at %d queued)", ErrJobQueueFull, j.class, c.queued())
+	}
+	// A class that was idle re-joins at the current virtual time so it
+	// cannot burn banked credit to starve the others.
+	if c.queued() == 0 && c.pass < sc.vtime {
+		c.pass = sc.vtime
+	}
+	c.push(j)
+	sc.queued++
+	sc.ensureStartedLocked()
+	sc.cond.Signal()
+	return nil
+}
+
+// next blocks until a job is runnable (returning it) or the scheduler
+// is closed and drained (returning false).
+func (sc *Scheduler) next() (*Job, bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for {
+		if c := sc.pickLocked(); c != nil {
+			j := c.pop()
+			sc.queued--
+			c.running++
+			sc.running++
+			if c.pass > sc.vtime {
+				sc.vtime = c.pass
+			}
+			c.pass += strideScale / float64(c.cfg.weight())
+			return j, true
+		}
+		if sc.closed && sc.queued == 0 {
+			return nil, false
+		}
+		sc.cond.Wait()
+	}
+}
+
+// pickLocked returns the runnable class with the minimum pass (ties
+// broken by name for determinism), or nil when no class is runnable.
+func (sc *Scheduler) pickLocked() *schedClass {
+	var best *schedClass
+	for _, c := range sc.classes {
+		if !c.runnable() {
+			continue
+		}
+		if best == nil || c.pass < best.pass || (c.pass == best.pass && c.name < best.name) {
+			best = c
+		}
+	}
+	return best
+}
+
+// release returns a finished job's concurrency slot and wakes workers
+// capped on the class as well as Drain waiters.
+func (sc *Scheduler) release(j *Job) {
+	sc.mu.Lock()
+	if c, ok := sc.classes[j.class]; ok {
+		c.running--
+		c.served++
+	}
+	sc.running--
+	sc.cond.Broadcast()
+	sc.mu.Unlock()
+}
+
+// ensureStartedLocked launches the worker pool once.
+func (sc *Scheduler) ensureStartedLocked() {
+	if sc.started {
+		return
+	}
+	sc.started = true
+	for i := 0; i < sc.workers; i++ {
+		go sc.worker()
+	}
+}
+
+// worker drains the scheduler until it is closed and empty. Each job
+// runs on the System that submitted it, so a shared pool serves many
+// isolated Systems.
+func (sc *Scheduler) worker() {
+	for {
+		j, ok := sc.next()
+		if !ok {
+			return
+		}
+		j.sys.serveJob(j)
+		sc.release(j)
+	}
+}
+
+// Close stops admission: subsequent enqueues fail with ErrJobsClosed
+// and workers exit once the queue drains. Already-accepted jobs —
+// queued or running — complete normally. Close is idempotent and
+// returns without waiting; pair it with Drain for a graceful stop.
+func (sc *Scheduler) Close() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if sc.closed {
+		return
+	}
+	sc.closed = true
+	sc.cond.Broadcast()
+}
+
+// Drain blocks until no job is queued or running, or ctx is done. It
+// does not itself stop admission — close the submitting Systems (or the
+// Scheduler) first, then Drain, for the shutdown sequence a server
+// wants: refuse new work, finish accepted work, exit.
+func (sc *Scheduler) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Broadcast under the lock so the wakeup cannot slip between a
+	// waiter's ctx check and its Wait and be lost.
+	stop := context.AfterFunc(ctx, func() {
+		sc.mu.Lock()
+		sc.cond.Broadcast()
+		sc.mu.Unlock()
+	})
+	defer stop()
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	for sc.queued+sc.running > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		sc.cond.Wait()
+	}
+	return nil
+}
+
+// Stats snapshots the scheduler's observable state.
+func (sc *Scheduler) Stats() QueueStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := QueueStats{
+		Queued:  sc.queued,
+		Running: sc.running,
+		Workers: sc.workers,
+		Depth:   sc.depth,
+		Shed:    sc.shed,
+		Classes: make(map[string]ClassStats, len(sc.classes)),
+	}
+	for name, c := range sc.classes {
+		out.Classes[name] = ClassStats{
+			Queued:     c.queued(),
+			Running:    c.running,
+			Served:     c.served,
+			Shed:       c.shed,
+			Weight:     c.cfg.weight(),
+			MaxQueued:  c.cfg.MaxQueued,
+			MaxRunning: c.cfg.MaxRunning,
+		}
+	}
+	return out
+}

@@ -216,9 +216,9 @@ func (s *System) CacheStats() CacheStats {
 // CacheStats is the observable state of a System's two caches.
 type CacheStats struct {
 	// Plan counts planning-layer memoization (whole-pipeline plans).
-	Plan CacheCounters
+	Plan CacheCounters `json:"plan"`
 	// Step counts execution-layer memoization (pure capability steps).
-	Step CacheCounters
+	Step CacheCounters `json:"step"`
 }
 
 // Registry exposes the live registry (it evolves as the curator
@@ -246,17 +246,18 @@ func (s *System) History() []registrycurator.Observation {
 	return out
 }
 
-// Report is the full record of one pipeline run.
+// Report is the full record of one pipeline run. The JSON tags keep
+// serialized keys stable and lowercase for the HTTP serving tier.
 type Report struct {
-	Query    string
-	Spec     nlq.Spec
-	Problem  *querymind.ProblemSpec
-	Design   *workflowscout.Design
-	Solution *solutionweaver.Solution
-	Result   *workflow.Result
+	Query    string                   `json:"query"`
+	Spec     nlq.Spec                 `json:"spec,omitempty"`
+	Problem  *querymind.ProblemSpec   `json:"problem,omitempty"`
+	Design   *workflowscout.Design    `json:"design,omitempty"`
+	Solution *solutionweaver.Solution `json:"solution,omitempty"`
+	Result   *workflow.Result         `json:"result,omitempty"`
 	// Promotions performed by the curator after this run.
-	Promotions []registrycurator.Promotion
-	Elapsed    time.Duration
+	Promotions []registrycurator.Promotion `json:"promotions,omitempty"`
+	Elapsed    time.Duration               `json:"elapsed,omitempty"`
 }
 
 // Ask runs the full four-agent pipeline on a natural-language query:

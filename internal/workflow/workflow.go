@@ -41,8 +41,8 @@ import (
 // to an output of an earlier step (Ref in "stepID.port" form). Exactly
 // one of the two must be set.
 type Binding struct {
-	Literal any
-	Ref     string
+	Literal any    `json:"literal,omitempty"`
+	Ref     string `json:"ref,omitempty"`
 }
 
 // IsRef reports whether the binding references another step's output.
@@ -65,14 +65,14 @@ func Ref(id, port string) Binding { return Binding{Ref: id + "." + port} }
 
 // Step is one capability invocation inside a workflow.
 type Step struct {
-	ID         string
-	Capability string
-	Inputs     map[string]Binding
+	ID         string             `json:"id"`
+	Capability string             `json:"capability"`
+	Inputs     map[string]Binding `json:"inputs,omitempty"`
 	// Phase labels the step for reporting ("mapping", "impact",
 	// "temporal", "synthesis", ...).
-	Phase string
+	Phase string `json:"phase,omitempty"`
 	// Note is a free-form design annotation carried into generated code.
-	Note string
+	Note string `json:"note,omitempty"`
 }
 
 // QualityKind classifies embedded quality checks.
@@ -89,20 +89,21 @@ const (
 
 // QualityCheck is a non-fatal assertion over a produced value.
 type QualityCheck struct {
-	Name   string
-	Kind   QualityKind
-	Ref    string // "stepID.port" to inspect
-	Assert func(v any) (ok bool, note string)
+	Name string      `json:"name"`
+	Kind QualityKind `json:"kind"`
+	Ref  string      `json:"ref"` // "stepID.port" to inspect
+	// Assert is executable and never serialized.
+	Assert func(v any) (ok bool, note string) `json:"-"`
 }
 
 // Workflow is an ordered list of steps; references must point backward,
 // which makes the graph acyclic by construction.
 type Workflow struct {
-	Name    string
-	Query   string
-	Steps   []Step
-	Outputs map[string]string // result name → "stepID.port"
-	Checks  []QualityCheck
+	Name    string            `json:"name"`
+	Query   string            `json:"query,omitempty"`
+	Steps   []Step            `json:"steps"`
+	Outputs map[string]string `json:"outputs,omitempty"` // result name → "stepID.port"
+	Checks  []QualityCheck    `json:"checks,omitempty"`
 }
 
 // Frameworks returns the distinct frameworks the workflow touches,
@@ -235,35 +236,37 @@ func (w *Workflow) Validate(reg *registry.Registry) error {
 
 // StepStat records one executed step.
 type StepStat struct {
-	ID         string
-	Capability string
-	Duration   time.Duration
-	Err        error
+	ID         string        `json:"id"`
+	Capability string        `json:"capability"`
+	Duration   time.Duration `json:"duration,omitempty"`
+	// Err is surfaced through the run's error chain; serializers carry
+	// its text separately.
+	Err error `json:"-"`
 	// Cached marks a step whose outputs were served from the engine's
 	// Cache instead of invoking the capability.
-	Cached bool
+	Cached bool `json:"cached,omitempty"`
 }
 
 // CheckResult records one evaluated quality check.
 type CheckResult struct {
-	Name   string
-	Kind   QualityKind
-	Passed bool
-	Note   string
+	Name   string      `json:"name"`
+	Kind   QualityKind `json:"kind"`
+	Passed bool        `json:"passed"`
+	Note   string      `json:"note,omitempty"`
 }
 
 // Result is the outcome of a workflow run.
 type Result struct {
 	// Values holds every produced "stepID.port" value.
-	Values map[string]any
+	Values map[string]any `json:"values,omitempty"`
 	// Outputs resolves the workflow's declared outputs by name.
-	Outputs map[string]any
+	Outputs map[string]any `json:"outputs,omitempty"`
 	// Steps records per-step execution stats in order.
-	Steps []StepStat
+	Steps []StepStat `json:"steps,omitempty"`
 	// Checks records quality-check outcomes in order.
-	Checks []CheckResult
+	Checks []CheckResult `json:"checks,omitempty"`
 	// Provenance is a human-readable execution trace.
-	Provenance []string
+	Provenance []string `json:"provenance,omitempty"`
 }
 
 // QualityScore returns the fraction of passed checks (1 when none).
