@@ -41,6 +41,17 @@
 // with System.CacheStats, tune or disable with System.SetCacheLimits,
 // and bypass per call with AskNoCache.
 //
+// Continuous monitoring turns one-shot queries into standing ones:
+// Subscribe(ctx, query, ...AskOption) registers a query that
+// re-executes automatically whenever the environment mutates (scenario
+// injection) or the registry evolves, and emits typed delta events —
+// ResultChanged with a structured diff, AnomalyAppeared/AnomalyCleared
+// for detector findings, ResultUnchanged heartbeats — instead of full
+// reports. Re-execution is incremental: capabilities declare which
+// environment facets they read (Capability.Reads), so only steps whose
+// facet fingerprints changed actually run; the rest replay from the
+// step cache.
+//
 // For serving over the network, cmd/arachnet-serve exposes the same
 // pipeline as a multi-tenant HTTP/JSON + SSE service (package
 // internal/serve): each tenant gets its own registry view and cache
@@ -156,6 +167,59 @@ type (
 	ClassStats = core.ClassStats
 	// QueueStats is the observable state of a Scheduler.
 	QueueStats = core.QueueStats
+	// Subscription is one standing query under continuous monitoring
+	// (see System.Subscribe): it re-executes automatically when the
+	// environment or the registry changes and emits the delta events
+	// below instead of full reports.
+	Subscription = core.Subscription
+	// SubEvent is one observable occurrence in a subscription's
+	// lifecycle; consume the concrete types below with a type switch.
+	SubEvent = core.SubEvent
+	// SubEventMeta is the header (subscription, sequence, revision,
+	// time) common to every subscription event.
+	SubEventMeta = core.SubEventMeta
+	// SubscriptionStarted carries the baseline run's report (or error).
+	SubscriptionStarted = core.SubscriptionStarted
+	// ResultChanged reports a re-execution whose result differs from
+	// the previous one, as a structured delta.
+	ResultChanged = core.ResultChanged
+	// ResultUnchanged is the heartbeat of a re-execution that replayed
+	// to an identical result.
+	ResultUnchanged = core.ResultUnchanged
+	// AnomalyAppeared reports a measurement anomaly newly present in
+	// the standing query's result.
+	AnomalyAppeared = core.AnomalyAppeared
+	// AnomalyCleared reports a previously-seen anomaly disappearing.
+	AnomalyCleared = core.AnomalyCleared
+	// SubscriptionClosed is the terminal event of every subscription.
+	SubscriptionClosed = core.SubscriptionClosed
+	// ResultDelta is the structured difference between two runs of a
+	// standing query.
+	ResultDelta = core.ResultDelta
+	// OutputDiff is one changed output path within a ResultDelta.
+	OutputDiff = core.OutputDiff
+	// AnomalySignal is one detector finding extracted from a result.
+	AnomalySignal = core.AnomalySignal
+)
+
+// Change causes labeling ResultChanged/ResultUnchanged events.
+const (
+	// CauseEnvironment marks a re-execution triggered by an environment
+	// mutation (scenario injection).
+	CauseEnvironment = core.CauseEnvironment
+	// CauseRegistry marks a re-execution triggered by registry
+	// evolution (capability registration or curator promotion).
+	CauseRegistry = core.CauseRegistry
+)
+
+// Environment facets a capability may read (Capability.Reads);
+// facet-scoped fingerprints are what make subscription re-execution
+// incremental.
+const (
+	// FacetWorld is the immutable generated world.
+	FacetWorld = core.FacetWorld
+	// FacetScenario is the injectable measurement scenario.
+	FacetScenario = core.FacetScenario
 )
 
 // NewScheduler builds a shared weighted-fair scheduler with the given

@@ -7,6 +7,13 @@
 //	arachnet -query "Identify the impact at a country level due to SeaMeWe-5 cable failure"
 //	arachnet -world small -scenario -query "Analyze the cascading effects of submarine cable failures between Europe and Asia"
 //	arachnet -registry cs1 -show code -query "..."
+//
+// With -monitor the query becomes a standing one: it re-executes
+// whenever the environment changes and prints delta events instead of
+// a one-shot report. -inject-every drives the demo by injecting a
+// fresh cable-failure scenario on a timer:
+//
+//	arachnet -world small -monitor -inject-every 2s -inject-count 3 -query "..."
 package main
 
 import (
@@ -23,18 +30,21 @@ import (
 
 func main() {
 	var (
-		query      = flag.String("query", "", "natural-language measurement query (required)")
-		seed       = flag.Uint64("seed", 42, "world seed")
-		world      = flag.String("world", "full", "world size: full|small")
-		scenario   = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (needed for cascade/forensic queries)")
-		regName    = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
-		show       = flag.String("show", "all", "sections to print: all|plan|design|code|result")
-		trace      = flag.Bool("trace", false, "print per-step execution provenance")
-		timeout    = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
-		noCurate   = flag.Bool("no-curation", false, "disable post-run registry evolution")
-		stream     = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
-		noCache    = flag.Bool("no-cache", false, "bypass plan and step memoization for this query")
-		cacheStats = flag.Bool("cache-stats", false, "print plan/step cache statistics to stderr after the run")
+		query       = flag.String("query", "", "natural-language measurement query (required)")
+		seed        = flag.Uint64("seed", 42, "world seed")
+		world       = flag.String("world", "full", "world size: full|small")
+		scenario    = flag.Bool("scenario", false, "inject a cable-failure measurement scenario (needed for cascade/forensic queries)")
+		regName     = flag.String("registry", "full", "capability registry: full|cs1 (cs1 withholds Xaminer abstractions)")
+		show        = flag.String("show", "all", "sections to print: all|plan|design|code|result")
+		trace       = flag.Bool("trace", false, "print per-step execution provenance")
+		timeout     = flag.Duration("timeout", 0, "abort the query after this duration (0 = no limit)")
+		noCurate    = flag.Bool("no-curation", false, "disable post-run registry evolution")
+		stream      = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
+		noCache     = flag.Bool("no-cache", false, "bypass plan and step memoization for this query")
+		cacheStats  = flag.Bool("cache-stats", false, "print plan/step cache statistics to stderr after the run")
+		monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
+		injectEvery = flag.Duration("inject-every", 0, "with -monitor: inject a fresh cable-failure scenario on this interval (0 = never)")
+		injectCount = flag.Int("inject-count", 3, "with -monitor and -inject-every: stop injecting after this many scenarios (0 = no limit)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -84,6 +94,10 @@ func main() {
 	}
 	if *noCache {
 		askOpts = append(askOpts, arachnet.AskNoCache())
+	}
+	if *monitor {
+		monitorQuery(ctx, sys, *query, askOpts, *seed, *injectEvery, *injectCount)
+		return
 	}
 	var rep *arachnet.Report
 	if *stream {
@@ -187,6 +201,77 @@ func main() {
 			st.Plan.Hits, st.Plan.Misses, st.Plan.HitRatio(), st.Plan.Entries, st.Plan.Evictions)
 		fmt.Fprintf(os.Stderr, "step cache: %d hits / %d misses (ratio %.2f), %d entries, ~%d bytes, %d evictions\n",
 			st.Step.Hits, st.Step.Misses, st.Step.HitRatio(), st.Step.Entries, st.Step.Bytes, st.Step.Evictions)
+	}
+}
+
+// monitorQuery runs the query as a standing subscription: the baseline
+// executes synchronously, then every environment change re-executes
+// incrementally and prints as a delta. When injectEvery is set, a
+// fresh cable-failure scenario (distinct seed each time) is injected
+// on that interval to drive the demo; Ctrl-C closes the subscription.
+func monitorQuery(ctx context.Context, sys *arachnet.System, query string,
+	askOpts []arachnet.AskOption, seed uint64, injectEvery time.Duration, injectCount int) {
+	sub, err := sys.Subscribe(ctx, query, askOpts...)
+	if err != nil {
+		fatal(err)
+	}
+	if injectEvery > 0 {
+		go func() {
+			tick := time.NewTicker(injectEvery)
+			defer tick.Stop()
+			for n := 0; injectCount <= 0 || n < injectCount; n++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				sc := arachnet.ScenarioConfig{Seed: seed + uint64(n) + 1}
+				if err := sys.Environment().InjectCableFailureScenario(sc); err != nil {
+					fmt.Fprintf(os.Stderr, "inject: %v\n", err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "→ injected scenario (seed %d)\n", sc.Seed)
+			}
+		}()
+	}
+	for ev := range sub.Events() {
+		switch ev := ev.(type) {
+		case *arachnet.SubscriptionStarted:
+			if ev.Err != nil {
+				fmt.Printf("▶ watching %q — baseline failed: %v\n", query, ev.Err)
+			} else {
+				fmt.Printf("▶ watching %q — baseline quality %.2f\n",
+					query, ev.Report.Result.QualityScore())
+			}
+		case *arachnet.ResultChanged:
+			fmt.Printf("Δ rev %d (%s): %d run / %d cached\n",
+				ev.Revision, ev.Cause, ev.Delta.StepsRun, ev.Delta.StepsCached)
+			switch {
+			case ev.Delta.ErrBefore != "" && ev.Delta.ErrAfter == "":
+				fmt.Printf("  recovered from: %s\n", ev.Delta.ErrBefore)
+			case ev.Delta.ErrAfter != "":
+				fmt.Printf("  now failing: %s\n", ev.Delta.ErrAfter)
+			}
+			for _, d := range ev.Delta.Changed {
+				fmt.Printf("  ~ %s\n      was %s\n      now %s\n", d.Path, d.Before, d.After)
+			}
+			for _, p := range ev.Delta.Added {
+				fmt.Printf("  + %s\n", p)
+			}
+			for _, p := range ev.Delta.Removed {
+				fmt.Printf("  - %s\n", p)
+			}
+		case *arachnet.ResultUnchanged:
+			fmt.Printf("= rev %d (%s): unchanged, %d run / %d cached\n",
+				ev.Revision, ev.Cause, ev.StepsRun, ev.StepsCached)
+		case *arachnet.AnomalyAppeared:
+			fmt.Printf("! anomaly %s at %s: %s\n",
+				ev.Anomaly.Kind, ev.Anomaly.Source, ev.Anomaly.Detail)
+		case *arachnet.AnomalyCleared:
+			fmt.Printf("  anomaly %s at %s cleared\n", ev.Anomaly.Kind, ev.Anomaly.Source)
+		case *arachnet.SubscriptionClosed:
+			fmt.Printf("■ subscription closed: %s\n", ev.Reason)
+		}
 	}
 }
 

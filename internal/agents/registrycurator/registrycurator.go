@@ -288,12 +288,23 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 	var frameworks []string
 	fwSeen := map[string]bool{}
 	pure := true
+	// Union the chain's declared environment facets; one member with an
+	// unknown (empty) Reads makes the composite's unknown too, so its
+	// cache keys conservatively track the full environment fingerprint.
+	readsKnown := true
+	readSet := map[string]bool{}
 	for _, s := range chain {
 		c, err := reg.Get(s.Capability)
 		if err != nil {
 			return registry.Capability{}, err
 		}
 		pure = pure && c.Pure
+		if len(c.Reads) == 0 {
+			readsKnown = false
+		}
+		for _, r := range c.Reads {
+			readSet[r] = true
+		}
 		for _, t := range c.Tags {
 			tagSet[t] = true
 		}
@@ -308,6 +319,13 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 	}
 	sort.Strings(tags)
 	tags = append(tags, "composite")
+	var reads []string
+	if readsKnown {
+		for r := range readSet {
+			reads = append(reads, r)
+		}
+		sort.Strings(reads)
+	}
 
 	cost := 0
 	for _, s := range chain {
@@ -402,6 +420,7 @@ func (a *Agent) composite(chain []workflow.Step, reg *registry.Registry) (regist
 		Cost:        cost,
 		Composite:   true,
 		Pure:        pure,
+		Reads:       reads,
 		Impl:        impl,
 	}, nil
 }

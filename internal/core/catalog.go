@@ -104,6 +104,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"cable-resolution"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -130,6 +131,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"adapter"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("cable")
 			if err != nil {
@@ -156,6 +158,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"corridor", "cable-resolution"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -192,6 +195,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"link-extraction", "cable-dependency"},
 		Cost:        2,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -229,6 +233,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"ip-extraction"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -264,6 +269,7 @@ func registerNautilus(r *registry.Registry) {
 		Tags:        []string{"validation", "uncertainty"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -284,6 +290,7 @@ func registerGeo(r *registry.Registry) {
 		Tags:        []string{"geo-mapping"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -321,6 +328,7 @@ func registerReport(r *registry.Registry) {
 		Tags:    []string{"aggregation", "country-level"},
 		Cost:    2,
 		Pure:    true,
+		Reads:   []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -351,6 +359,7 @@ func registerReport(r *registry.Registry) {
 		Tags:        []string{"render"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("report")
 			if err != nil {
@@ -509,6 +518,7 @@ func registerXaminer(r *registry.Registry) {
 		Tags:        []string{"impact-analysis", "embedding", "aggregation", "country-level"},
 		Cost:        3,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -532,6 +542,7 @@ func registerXaminer(r *registry.Registry) {
 		Tags:        []string{"routing-impact", "validation"},
 		Cost:        6,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -555,6 +566,7 @@ func registerXaminer(r *registry.Registry) {
 		Tags:        []string{"event-selection"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("types")
 			if err != nil {
@@ -592,6 +604,7 @@ func registerXaminer(r *registry.Registry) {
 		Tags:        []string{"event-processing", "impact-analysis"},
 		Cost:        3,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -630,6 +643,7 @@ func registerXaminer(r *registry.Registry) {
 		Tags:        []string{"aggregation", "combine"},
 		Cost:        1,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {

@@ -25,6 +25,7 @@ func registerBGP(r *registry.Registry) {
 		Tags:        []string{"temporal", "routing-data"},
 		Cost:        2,
 		Pure:        true,
+		Reads:       []string{FacetWorld, FacetScenario},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -46,6 +47,7 @@ func registerBGP(r *registry.Registry) {
 		Tags:        []string{"anomaly-detection", "routing"},
 		Cost:        2,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			msgs, err := inputStream(c)
 			if err != nil {
@@ -67,6 +69,7 @@ func registerBGP(r *registry.Registry) {
 		Tags:    []string{"temporal-correlation", "validation"},
 		Cost:    2,
 		Pure:    true,
+		Reads:   []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			msgs, err := inputStream(c)
 			if err != nil {
@@ -119,6 +122,7 @@ func registerTraceroute(r *registry.Registry) {
 		Tags:        []string{"temporal", "measurement-data"},
 		Cost:        2,
 		Pure:        true,
+		Reads:       []string{FacetWorld, FacetScenario},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -140,6 +144,7 @@ func registerTraceroute(r *registry.Registry) {
 		Tags:        []string{"anomaly-detection", "statistical"},
 		Cost:        3,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			v, err := c.Input("archive")
 			if err != nil {
@@ -263,6 +268,7 @@ func registerTopo(r *registry.Registry) {
 		Tags:        []string{"cascade", "dependency-graph"},
 		Cost:        4,
 		Pure:        true,
+		Reads:       []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -305,6 +311,7 @@ func registerTopo(r *registry.Registry) {
 		Tags:    []string{"cascade", "as-layer"},
 		Cost:    3,
 		Pure:    true,
+		Reads:   []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -338,6 +345,7 @@ func registerForensic(r *registry.Registry) {
 		Tags:    []string{"forensic", "infrastructure-correlation"},
 		Cost:    4,
 		Pure:    true,
+		Reads:   []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {
@@ -368,6 +376,7 @@ func registerForensic(r *registry.Registry) {
 		Tags:    []string{"evidence-synthesis", "causation"},
 		Cost:    2,
 		Pure:    true,
+		Reads:   []string{FacetWorld},
 		Impl: func(c *registry.Call) error {
 			f, err := inputAnomaly(c)
 			if err != nil {
@@ -403,6 +412,7 @@ func registerForensic(r *registry.Registry) {
 		Tags:    []string{"synthesis", "cross-layer"},
 		Cost:    2,
 		Pure:    true,
+		Reads:   []string{FacetWorld, FacetScenario},
 		Impl: func(c *registry.Call) error {
 			e, err := envOf(c.Env)
 			if err != nil {

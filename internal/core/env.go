@@ -22,6 +22,21 @@ var defaultNow = time.Date(2025, 6, 15, 12, 0, 0, 0, time.UTC)
 // fingerprinting.
 var envSeq atomic.Uint64
 
+// Environment facets: the independently mutable parts of an
+// Environment a capability may declare it Reads (registry.Capability).
+// Step-cache fingerprints are scoped to the declared facets, so
+// mutating one facet dirties only the steps that read it.
+const (
+	// FacetWorld covers the generated world, the cable catalog, the
+	// cross-layer map and the analyzer — immutable once the environment
+	// is built.
+	FacetWorld = "world"
+	// FacetScenario covers the injected measurement scenario (trace
+	// archive, BGP stream, failure ground truth) — replaced by every
+	// InjectCableFailureScenario.
+	FacetScenario = "scenario"
+)
+
 // Fingerprint uniquely identifies this environment instance and its
 // mutation epoch. It is mixed into every step-cache key, so memoized
 // results computed against one environment (or against this one before
@@ -30,23 +45,111 @@ var envSeq atomic.Uint64
 // two worlds built from the same seed would produce identical results,
 // but proving that is the cache's job only within one environment.
 func (e *Environment) Fingerprint() string {
-	return fmt.Sprintf("env%d.%d", e.fpID, e.fpEpoch)
+	return fmt.Sprintf("env%d.%d", e.fpID.Load(), e.fpEpoch.Load())
 }
+
+// FacetFingerprint scopes the fingerprint to the environment facets a
+// capability declares it Reads. Steps reading only FacetWorld keep
+// their fingerprints across scenario injections — that is what lets a
+// standing query replay them from the step cache while only the
+// scenario-dependent subgraph re-executes. An empty or unrecognized
+// facet list falls back to the full Fingerprint (always safe).
+func (e *Environment) FacetFingerprint(reads []string) string {
+	if len(reads) == 0 {
+		return e.Fingerprint()
+	}
+	scenario := false
+	for _, r := range reads {
+		switch r {
+		case FacetWorld:
+		case FacetScenario:
+			scenario = true
+		default:
+			return e.Fingerprint()
+		}
+	}
+	if scenario {
+		// Scenario readers see the mutation epoch: every injection
+		// replaces the scenario, which is the only mutable facet today.
+		return fmt.Sprintf("env%d.s%d", e.fpID.Load(), e.fpEpoch.Load())
+	}
+	// World-only readers: identity without the epoch — the world never
+	// changes in place.
+	return fmt.Sprintf("env%d.w", e.fpID.Load())
+}
+
+// Epoch returns the environment's mutation epoch: 0 at construction,
+// bumped by every in-place change (scenario injection). Standing
+// queries compare epochs to attribute a wake-up to the environment.
+func (e *Environment) Epoch() uint64 { return e.fpEpoch.Load() }
 
 // ensureFingerprint assigns the instance identity once; hand-built
 // Environment literals (tests) get one lazily at System assembly.
 func (e *Environment) ensureFingerprint() {
-	if e.fpID == 0 {
-		e.fpID = envSeq.Add(1)
+	if e.fpID.Load() == 0 {
+		e.fpID.CompareAndSwap(0, envSeq.Add(1))
 	}
 }
 
 // bumpFingerprint advances the mutation epoch after an in-place
 // environment change (scenario injection), invalidating step-cache
-// entries computed over the previous state.
+// entries computed over the previous state, and pokes every watcher.
 func (e *Environment) bumpFingerprint() {
 	e.ensureFingerprint()
-	e.fpEpoch++
+	e.fpEpoch.Add(1)
+	e.watchMu.Lock()
+	for _, ch := range e.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending poke
+		}
+	}
+	e.watchMu.Unlock()
+}
+
+// Watch registers ch to be poked — a non-blocking send of one empty
+// struct — after every environment mutation (scenario injection). A
+// buffered channel of capacity 1 coalesces mutation bursts into one
+// wake-up; the watcher re-reads Fingerprint to decide what changed.
+// This is the push seam System.Subscribe builds on: subscribers are
+// poked, never polling.
+func (e *Environment) Watch(ch chan<- struct{}) {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	e.watchers = append(e.watchers, ch)
+}
+
+// Unwatch removes a channel registered with Watch. Unknown channels
+// are ignored.
+func (e *Environment) Unwatch(ch chan<- struct{}) {
+	e.watchMu.Lock()
+	defer e.watchMu.Unlock()
+	for i, w := range e.watchers {
+		if w == ch {
+			e.watchers = append(e.watchers[:i], e.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Clone returns a new Environment over the same immutable world,
+// catalog, cross-layer map and analyzer, with its own mutation
+// identity: the clone starts at epoch 0, carries the source's current
+// scenario (the *Scenario itself is never mutated in place — injection
+// replaces it), and has no watchers. Mutations on the clone are
+// invisible to the source and vice versa, which is what gives each
+// serving tenant its own scenario timeline over one generated world.
+func (e *Environment) Clone() *Environment {
+	c := &Environment{
+		World:    e.World,
+		Catalog:  e.Catalog,
+		CrossMap: e.CrossMap,
+		Analyzer: e.Analyzer,
+		Scenario: e.Scenario,
+		Now:      e.Now,
+	}
+	c.ensureFingerprint()
+	return c
 }
 
 // NewEnvironment generates a world from the config, runs the Nautilus

@@ -1,0 +1,114 @@
+package core
+
+// Incremental re-execution: after a scenario injection, only the steps
+// whose capabilities read the scenario facet — and their downstreams,
+// via fingerprint chaining — may run fresh; every other step must
+// replay from the step cache with StepStat.Cached set.
+
+import (
+	"testing"
+
+	"arachnet/internal/workflow"
+)
+
+// dirtySteps walks a plan and marks each step dirty when its
+// capability reads the scenario facet (or declares no facets, which
+// keys it to the full, epoch-bearing fingerprint) or any upstream step
+// is dirty — the exact set a scenario injection is allowed to re-run.
+func dirtySteps(t *testing.T, sys *System, wf *workflow.Workflow) map[string]bool {
+	t.Helper()
+	dirty := map[string]bool{}
+	for _, s := range wf.Steps {
+		capb, err := sys.Registry().Get(s.Capability)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := len(capb.Reads) == 0
+		for _, r := range capb.Reads {
+			if r == FacetScenario {
+				d = true
+			}
+		}
+		for _, b := range s.Inputs {
+			if b.IsRef() && dirty[workflow.RefStepID(b.Ref)] {
+				d = true
+			}
+		}
+		dirty[s.ID] = d
+	}
+	return dirty
+}
+
+func TestIncrementalReexecutionAfterInjection(t *testing.T) {
+	env := testEnv(t, true)
+	sys, err := NewSystem(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold run populates the step cache.
+	if _, err := sys.Ask(ctx, queryCS3, AskWithoutCuration()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mutate only the scenario facet, then re-ask the same query.
+	if err := env.InjectCableFailureScenario(ScenarioConfig{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Ask(ctx, queryCS3, AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Solution == nil || rep.Solution.Workflow == nil || rep.Result == nil {
+		t.Fatal("report incomplete")
+	}
+
+	dirty := dirtySteps(t, sys, rep.Solution.Workflow)
+	cached, ran := 0, 0
+	for _, st := range rep.Result.Steps {
+		if wantFresh := dirty[st.ID]; st.Cached == wantFresh {
+			if wantFresh {
+				t.Errorf("step %s (%s) served from cache but its inputs changed", st.ID, st.Capability)
+			} else {
+				t.Errorf("step %s (%s) re-ran although nothing it reads changed", st.ID, st.Capability)
+			}
+		}
+		if st.Cached {
+			cached++
+		} else {
+			ran++
+		}
+	}
+	// The test is only meaningful if the plan actually mixes both: a
+	// scenario-dirty subgraph that re-ran and a world-only remainder
+	// that replayed.
+	if cached == 0 || ran == 0 {
+		t.Fatalf("degenerate plan for incrementality: %d cached, %d ran", cached, ran)
+	}
+	t.Logf("re-execution after injection: %d steps replayed from cache, %d ran fresh", cached, ran)
+}
+
+// TestFullReplayAcrossWorldOnlyQuery: a query touching no scenario
+// data replays entirely from cache even after an injection — the
+// strongest form of the facet-scoped keying.
+func TestFullReplayAcrossWorldOnlyQuery(t *testing.T) {
+	env := testEnv(t, true)
+	sys, err := NewSystem(env, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Ask(ctx, queryCS1, AskWithoutCuration()); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.InjectCableFailureScenario(ScenarioConfig{Seed: 11}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Ask(ctx, queryCS1, AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range rep.Result.Steps {
+		if !st.Cached {
+			t.Errorf("world-only step %s (%s) re-ran after a scenario-only mutation", st.ID, st.Capability)
+		}
+	}
+}

@@ -361,24 +361,30 @@ func (s *System) Submit(ctx context.Context, query string, opts ...AskOption) (*
 	return j, nil
 }
 
-// Close shuts the System's async serving down: subsequent Submits fail
-// with ErrJobsClosed and already-accepted jobs — queued or running —
-// complete normally (use Cancel to abort them). A private scheduler is
-// closed with the System (its workers exit once the queue drains); a
-// shared scheduler attached with SetScheduler is left running for its
-// other Systems. Close is idempotent, safe to call concurrently with
-// Submit (the shutdown path races them by design), returns without
-// waiting for in-flight jobs, and leaves the blocking surfaces (Ask,
+// Close shuts the System's async serving down: subsequent Submits and
+// Subscribes fail with ErrJobsClosed, already-accepted jobs — queued
+// or running — complete normally (use Cancel to abort them), and every
+// live subscription is closed (its streams end with a terminal
+// SubscriptionClosed event). A private scheduler is closed with the
+// System (its workers exit once the queue drains); a shared scheduler
+// attached with SetScheduler is left running for its other Systems.
+// Close is idempotent, safe to call concurrently with Submit (the
+// shutdown path races them by design), waits only for subscription
+// loops (not in-flight jobs), and leaves the blocking surfaces (Ask,
 // AskStream, AskBatch) untouched.
 func (s *System) Close() {
 	s.jobs.mu.Lock()
-	defer s.jobs.mu.Unlock()
 	if s.jobs.closed {
+		s.jobs.mu.Unlock()
 		return
 	}
 	s.jobs.closed = true
 	if s.jobs.private && s.jobs.sched != nil {
 		s.jobs.sched.Close()
+	}
+	s.jobs.mu.Unlock()
+	for _, sub := range s.Subscriptions() {
+		sub.closeWith("system closed")
 	}
 }
 

@@ -151,6 +151,9 @@ type System struct {
 	// pool starts lazily on the first Submit.
 	jobs jobTable
 
+	// subs indexes live standing queries (see subscribe.go).
+	subs subTable
+
 	// planCache memoizes the planning half of the pipeline (QueryMind →
 	// WorkflowScout → SolutionWeaver) keyed by normalized query,
 	// registry generation and environment fingerprint; stepCache
@@ -374,7 +377,15 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 		workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge),
 	}
 	if !cfg.noCache {
-		engineOpts = append(engineOpts, workflow.WithCache(stepCacheAdapter{s.stepCache}, s.env.Fingerprint()))
+		// Facet-scoped cache keys: steps reading only the immutable
+		// world facet keep their fingerprints across scenario
+		// injections, so a standing query's re-run executes only the
+		// scenario-dirty subgraph and replays the rest from cache.
+		engineOpts = append(engineOpts,
+			workflow.WithCache(stepCacheAdapter{s.stepCache}, s.env.Fingerprint()),
+			workflow.WithEnvKeyer(func(capb *registry.Capability) string {
+				return s.env.FacetFingerprint(capb.Reads)
+			}))
 	}
 	engine := workflow.NewEngine(s.reg, s.env, engineOpts...)
 	result, err := engine.Run(exCtx, solution.Workflow)

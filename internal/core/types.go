@@ -8,6 +8,8 @@ import (
 	"net/netip"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"arachnet/internal/bgp"
@@ -138,8 +140,16 @@ type Environment struct {
 
 	// fpID/fpEpoch back Fingerprint(): a process-unique instance
 	// identity plus a mutation epoch bumped by scenario injection.
-	fpID    uint64
-	fpEpoch uint64
+	// Both are atomic — fingerprints are read on every cached Ask while
+	// scenario injection bumps the epoch concurrently.
+	fpID    atomic.Uint64
+	fpEpoch atomic.Uint64
+
+	// watchMu guards watchers, the change-notification seam standing
+	// queries (System.Subscribe) register with; every mutation pokes
+	// them. See Watch.
+	watchMu  sync.Mutex
+	watchers []chan<- struct{}
 }
 
 // envOf extracts the Environment from a registry call context.

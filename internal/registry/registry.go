@@ -119,6 +119,15 @@ type Capability struct {
 	// state, are randomized, or mutate the environment must leave Pure
 	// false (the default, which is always safe).
 	Pure bool `json:"pure,omitempty"`
+	// Reads names the environment facets a Pure capability consults
+	// (beyond its bound inputs). Engines use it to scope a step's cache
+	// fingerprint to just those facets, so mutating one facet (e.g.
+	// injecting a new measurement scenario) dirties only the steps that
+	// actually read it — the seam incremental re-execution builds on.
+	// The facet vocabulary belongs to the environment implementation;
+	// an empty list means "unknown: assume every facet" (the default,
+	// which is always safe).
+	Reads []string `json:"reads,omitempty"`
 
 	Impl Func `json:"-"`
 }
@@ -177,6 +186,10 @@ type Registry struct {
 	// so a curation promotion invalidates anything planned against the
 	// smaller catalog.
 	gen uint64
+	// watchers are poked (non-blocking send) after every successful
+	// Register, so standing queries learn about catalog growth without
+	// polling Generation. See Watch.
+	watchers []chan<- struct{}
 }
 
 // New returns an empty registry.
@@ -226,7 +239,37 @@ func (r *Registry) Register(c Capability) error {
 	cc := c
 	r.caps[c.Name] = &cc
 	r.gen++
+	for _, ch := range r.watchers {
+		select {
+		case ch <- struct{}{}:
+		default: // watcher already has a pending poke
+		}
+	}
 	return nil
+}
+
+// Watch registers ch to be poked — a non-blocking send of one empty
+// struct — after every successful Register. A buffered channel of
+// capacity 1 coalesces bursts of registrations into one wake-up; the
+// watcher re-reads Generation to decide what changed. Watchers are
+// per-instance: Clone and Subset never inherit them.
+func (r *Registry) Watch(ch chan<- struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.watchers = append(r.watchers, ch)
+}
+
+// Unwatch removes a channel registered with Watch. Unknown channels
+// are ignored.
+func (r *Registry) Unwatch(ch chan<- struct{}) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, w := range r.watchers {
+		if w == ch {
+			r.watchers = append(r.watchers[:i], r.watchers[i+1:]...)
+			return
+		}
+	}
 }
 
 // Generation returns a monotonic counter bumped by every successful

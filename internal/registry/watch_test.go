@@ -1,0 +1,79 @@
+package registry
+
+// Watch/Unwatch contract: every successful Register pokes each watcher
+// (non-blocking, coalesced by the channel's buffer), and Clone/Subset
+// never inherit watchers.
+
+import "testing"
+
+func watchCap(name string) Capability {
+	return Capability{
+		Name: name, Framework: "watch", Description: "watch test capability",
+		Outputs: []Port{{Name: "out", Type: TString}},
+		Impl:    func(c *Call) error { c.Out["out"] = "x"; return nil },
+	}
+}
+
+func TestWatchPokedOnRegister(t *testing.T) {
+	r := New()
+	ch := make(chan struct{}, 1)
+	r.Watch(ch)
+
+	r.MustRegister(watchCap("watch.one"))
+	select {
+	case <-ch:
+	default:
+		t.Fatal("watcher not poked by Register")
+	}
+
+	// Coalescing: a burst of registrations leaves at most one pending
+	// poke on a capacity-1 channel, never blocking Register.
+	r.MustRegister(watchCap("watch.two"))
+	r.MustRegister(watchCap("watch.three"))
+	<-ch
+	select {
+	case <-ch:
+		t.Fatal("more than one pending poke on a capacity-1 watcher")
+	default:
+	}
+
+	// A failed registration (duplicate) must not poke.
+	if err := r.Register(watchCap("watch.one")); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+	select {
+	case <-ch:
+		t.Fatal("failed Register poked the watcher")
+	default:
+	}
+
+	r.Unwatch(ch)
+	r.MustRegister(watchCap("watch.four"))
+	select {
+	case <-ch:
+		t.Fatal("unwatched channel still poked")
+	default:
+	}
+	// Unwatch of an unknown channel is a no-op.
+	r.Unwatch(make(chan struct{}))
+}
+
+func TestCloneAndSubsetDropWatchers(t *testing.T) {
+	r := New()
+	r.MustRegister(watchCap("watch.one"))
+	ch := make(chan struct{}, 1)
+	r.Watch(ch)
+
+	c := r.Clone()
+	c.MustRegister(watchCap("watch.two"))
+	sub, err := r.Subset("watch.one")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.MustRegister(watchCap("watch.three"))
+	select {
+	case <-ch:
+		t.Fatal("registration on a clone/subset poked the source's watcher")
+	default:
+	}
+}

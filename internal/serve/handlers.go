@@ -29,6 +29,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.subscriptionRoutes()
 }
 
 // askRequest is the body of POST /v1/ask and POST /v1/jobs.

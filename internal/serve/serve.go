@@ -10,6 +10,10 @@
 //   - Each tenant gets its own *core.System over its own registry view
 //     (Registry.Clone or Subset of a shared base catalog), so one
 //     tenant's curator promotions never appear in another's plans.
+//   - Each tenant serves its own Environment clone over the shared
+//     immutable world, so scenario injections (POST /v1/admin/scenario)
+//     and the standing-query wake-ups they cause are per-tenant: one
+//     tenant's epoch bump never fires another tenant's subscriptions.
 //   - Each System carries its own plan and step caches, bounded by
 //     per-tenant quotas (SetCacheLimits), so cached plans and step
 //     results cannot leak across tenants and one tenant cannot evict
@@ -22,7 +26,11 @@
 // Endpoints (see handlers.go): POST /v1/ask (synchronous), POST
 // /v1/jobs + GET /v1/jobs/{id}/events (SSE streaming, replayable),
 // DELETE /v1/jobs/{id} (cancel), GET /v1/jobs, GET /v1/jobs/{id},
-// GET /v1/stats, GET /healthz.
+// GET /v1/stats, GET /healthz; and for continuous monitoring (see
+// subscriptions.go): POST/GET /v1/subscriptions, GET
+// /v1/subscriptions/{id}, GET /v1/subscriptions/{id}/events (SSE
+// delta stream; disconnect unsubscribes unless ?detach=1), DELETE
+// /v1/subscriptions/{id}, POST /v1/admin/scenario.
 package serve
 
 import (
@@ -63,7 +71,10 @@ type TenantConfig struct {
 
 // Config assembles a Server.
 type Config struct {
-	// Env is the shared simulated world every tenant measures. Required.
+	// Env is the simulated world tenants measure. Required. Each
+	// tenant serves its own clone of it: the generated world is
+	// shared, but scenario injections and the mutation epoch are
+	// per-tenant (see Environment.Clone).
 	Env *core.Environment
 	// BaseRegistry is the catalog template tenant views are built from
 	// (Clone/Subset per tenant); nil means the builtin catalog.
@@ -160,7 +171,10 @@ func NewServer(cfg Config) (*Server, error) {
 		} else {
 			view = base.Clone()
 		}
-		sys, err := core.NewSystem(cfg.Env, view)
+		// The clone shares the immutable world but owns its mutation
+		// timeline, so admin scenario injections only wake this
+		// tenant's standing queries.
+		sys, err := core.NewSystem(cfg.Env.Clone(), view)
 		if err != nil {
 			return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
 		}

@@ -113,8 +113,8 @@ func decodeBody(t testing.TB, resp *http.Response, v any) {
 
 // askSummary mirrors the wire summary the handlers return.
 type askSummary struct {
-	Query        string   `json:"query"`
-	Steps        []struct {
+	Query string `json:"query"`
+	Steps []struct {
 		Capability string `json:"capability"`
 		Cached     bool   `json:"cached"`
 	} `json:"steps"`

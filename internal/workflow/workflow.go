@@ -20,6 +20,13 @@
 // may be served verbatim; impure steps (and anything downstream of
 // them) always execute. Cache hits still fire Observer callbacks, with
 // StepStat.Cached set.
+//
+// WithEnvKeyer turns this into incremental re-execution: when the
+// environment fingerprint is scoped per capability to the facets it
+// actually reads, mutating one facet leaves every other step's
+// fingerprint intact, so a re-run after the mutation executes only the
+// dirty subgraph (the facet's readers and, via fingerprint chaining,
+// their downstreams) and replays the rest from cache.
 package workflow
 
 import (
@@ -322,6 +329,7 @@ type Engine struct {
 	observers   []Observer
 	cache       Cache
 	envFP       string
+	envKeyer    func(*registry.Capability) string
 }
 
 // EngineOption configures an Engine.
@@ -354,6 +362,22 @@ func WithCache(c Cache, envFingerprint string) EngineOption {
 		e.cache = c
 		e.envFP = envFingerprint
 	}
+}
+
+// WithEnvKeyer refines WithCache's single environment fingerprint into
+// a per-capability one: keyer is consulted for each step's capability
+// and its return value replaces the engine-wide fingerprint in that
+// step's cache key. This is the dirty-set seam incremental
+// re-execution builds on — a keyer that scopes the fingerprint to the
+// environment facets a capability Reads keeps the keys of unaffected
+// steps stable across an environment mutation, so only steps whose own
+// environment view (or an upstream's) changed get fresh fingerprints
+// and actually run; everything else replays from cache. Dirtiness
+// propagates automatically because each step's fingerprint chains its
+// upstreams'. A keyer returning "" for a capability falls back to the
+// WithCache fingerprint. Ignored without a cache.
+func WithEnvKeyer(keyer func(*registry.Capability) string) EngineOption {
+	return func(e *Engine) { e.envKeyer = keyer }
 }
 
 // NewEngine builds an engine.
@@ -404,7 +428,13 @@ func (e *Engine) fingerprints(w *Workflow, index map[string]int) []string {
 		if err != nil || !capb.Pure {
 			continue
 		}
-		buf = field(buf[:0], "cap", s.Capability, "env", e.envFP)
+		envKey := e.envFP
+		if e.envKeyer != nil {
+			if k := e.envKeyer(capb); k != "" {
+				envKey = k
+			}
+		}
+		buf = field(buf[:0], "cap", s.Capability, "env", envKey)
 		names = names[:0]
 		for name := range s.Inputs {
 			names = append(names, name)
