@@ -90,6 +90,7 @@ import (
 	"arachnet/internal/core"
 	"arachnet/internal/eval"
 	"arachnet/internal/expert"
+	"arachnet/internal/fleet"
 	"arachnet/internal/geo"
 	"arachnet/internal/netsim"
 	"arachnet/internal/registry"
@@ -154,6 +155,14 @@ type (
 	CacheStats = core.CacheStats
 	// CacheCounters is the hit/miss/eviction state of one cache.
 	CacheCounters = core.CacheCounters
+	// Fleet is a sharded worker pool for DIMES-style distributed
+	// execution (see WithFleet and System.SetFleet).
+	Fleet = fleet.Fleet
+	// FleetStats snapshots fleet dispatch counters and per-worker
+	// shard inventory (surfaced through CacheStats.Fleet).
+	FleetStats = fleet.Stats
+	// FleetShardStats describes one worker's shard and local cache.
+	FleetShardStats = fleet.ShardStats
 	// JobSummary is a serialization-friendly snapshot of one Job.
 	JobSummary = core.JobSummary
 	// Scheduler is a weighted-fair job queue plus its worker pool;
@@ -337,6 +346,7 @@ type options struct {
 	world    netsim.Config
 	scenario *core.ScenarioConfig
 	registry *registry.Registry
+	fleet    int
 }
 
 // Option configures New.
@@ -370,6 +380,16 @@ func WithRegistry(r *Registry) Option {
 	return func(o *options) { o.registry = r }
 }
 
+// WithFleet shards the world over n workers (DIMES-style distributed
+// execution): pure fan-out steps scatter across the shards owning
+// their data and gather deterministically, so results are identical
+// to unsharded execution. n < 1 disables the fleet (the default).
+// System.Fleet() exposes the fleet (stats, Close); fleets are cheap
+// (a few idle goroutines) and may live for the process.
+func WithFleet(n int) Option {
+	return func(o *options) { o.fleet = n }
+}
+
 // New assembles a ready-to-ask ArachNet system. Defaults: full-size
 // world with seed 42, builtin registry. Serving behavior — expert
 // review, curation, timeouts, parallelism — is chosen per call with
@@ -388,7 +408,18 @@ func New(opts ...Option) (*System, error) {
 			return nil, fmt.Errorf("arachnet: %w", err)
 		}
 	}
-	return core.NewSystem(env, o.registry)
+	sys, err := core.NewSystem(env, o.registry)
+	if err != nil {
+		return nil, err
+	}
+	if o.fleet > 0 {
+		f, err := fleet.New(env.World, fleet.Config{Workers: o.fleet})
+		if err != nil {
+			return nil, fmt.Errorf("arachnet: %w", err)
+		}
+		sys.SetFleet(f)
+	}
+	return sys, nil
 }
 
 // BuiltinRegistry returns the full hand-curated capability catalog.

@@ -264,6 +264,7 @@ func BenchmarkAskNoCache(b *testing.B) {
 // the LoC table itself comes from cmd/arachnet-bench -loc).
 func BenchmarkGeneratedCode(b *testing.B) {
 	sys := benchSystem(b, true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep, err := sys.Ask(ctx, benchQueries[4], arachnet.AskWithoutCuration())
@@ -273,5 +274,43 @@ func BenchmarkGeneratedCode(b *testing.B) {
 		if rep.Solution.LoC == 0 {
 			b.Fatal("no code generated")
 		}
+	}
+}
+
+// benchFleetCase measures the CS1 fan-out workflow served through a
+// worker fleet of n shards. The restricted CS1 registry forces the
+// extract_ips → locate_ips chain, whose steps scatter-gather across
+// the fleet; n=0 is the inline-execution baseline.
+func benchFleetCase(b *testing.B, n int) {
+	b.Helper()
+	sub, err := arachnet.BuiltinRegistry().Subset(arachnet.CS1RegistryNames()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []arachnet.Option{arachnet.WithSmallWorld(7), arachnet.WithRegistry(sub)}
+	if n > 0 {
+		opts = append(opts, arachnet.WithFleet(n))
+	}
+	sys, err := arachnet.New(opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if f := sys.Fleet(); f != nil {
+		defer f.Close()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Ask(ctx, benchQueries[1], arachnet.AskWithoutCuration()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAskFleet compares inline execution against sharded fleets
+// on the scatter-gather CS1 workflow (PR 8 trajectory point).
+func BenchmarkAskFleet(b *testing.B) {
+	for _, n := range []int{0, 1, 4} {
+		b.Run(fmt.Sprintf("fleet=%d", n), func(b *testing.B) { benchFleetCase(b, n) })
 	}
 }

@@ -16,11 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"arachnet"
+	"arachnet/internal/netsim"
 )
 
 // ctx spans the whole experiment run; individual Asks are uncancelled.
@@ -54,24 +56,36 @@ func main() {
 		servingOnly = flag.Bool("serving", false, "print only the async serving throughput experiment")
 		cacheOnly   = flag.Bool("cache", false, "print only the memoized serving experiment (cold vs warm latencies + hit ratios)")
 		world       = flag.String("world", "full", "world size for -cache: full|small")
-		jsonPath    = flag.String("json", "", "with -cache, also write the results as JSON to this path (e.g. BENCH_5.json)")
+		jsonPath    = flag.String("json", "", "with -cache or -fleetbench, also write the results as JSON to this path (e.g. BENCH_5.json, BENCH_8.json)")
 		seed        = flag.Uint64("seed", 42, "world seed")
+		fleetN      = flag.Int("fleet", 0, "shard the world over N fleet workers for every experiment (0 = inline execution)")
+		fleetBench  = flag.Bool("fleetbench", false, "print only the fleet-scaling experiment (fleet 0/1/4 cold+warm latency and allocations, plus a ≥10x world)")
 	)
 	flag.Parse()
+	fleetOpt := func(opts []arachnet.Option) []arachnet.Option {
+		if *fleetN > 0 {
+			opts = append(opts, arachnet.WithFleet(*fleetN))
+		}
+		return opts
+	}
 
 	if *servingOnly {
 		serving(*seed)
 		return
 	}
 	if *cacheOnly {
-		cacheExperiment(*seed, *world, *jsonPath)
+		cacheExperiment(*seed, *world, *jsonPath, fleetOpt)
+		return
+	}
+	if *fleetBench {
+		fleetExperiment(*seed, *world, *jsonPath)
 		return
 	}
 
-	sys, err := arachnet.New(
+	sys, err := arachnet.New(fleetOpt([]arachnet.Option{
 		arachnet.WithSeed(*seed),
 		arachnet.WithScenario(arachnet.ScenarioConfig{Seed: *seed}),
-	)
+	})...)
 	if err != nil {
 		fatal(err)
 	}
@@ -208,9 +222,9 @@ type cacheReport struct {
 // cold (first contact, caches empty) and warm (median of repeat
 // rounds), plus the resulting hit ratios. With -json the report also
 // lands on disk for trajectory tracking.
-func cacheExperiment(seed uint64, world, jsonPath string) {
+func cacheExperiment(seed uint64, world, jsonPath string, fleetOpt func([]arachnet.Option) []arachnet.Option) {
 	header("Memoized serving (plan + step caches, cold vs warm)")
-	opts := []arachnet.Option{arachnet.WithScenario(arachnet.ScenarioConfig{Seed: seed})}
+	opts := fleetOpt([]arachnet.Option{arachnet.WithScenario(arachnet.ScenarioConfig{Seed: seed})})
 	switch world {
 	case "full":
 		opts = append(opts, arachnet.WithSeed(seed))
@@ -276,6 +290,198 @@ func cacheExperiment(seed uint64, world, jsonPath string) {
 	fmt.Printf("plan cache: %d/%d hits (ratio %.2f); step cache: %d/%d hits (ratio %.2f, ~%dKiB)\n",
 		st.Plan.Hits, st.Plan.Hits+st.Plan.Misses, st.Plan.HitRatio(),
 		st.Step.Hits, st.Step.Hits+st.Step.Misses, st.Step.HitRatio(), st.Step.Bytes/1024)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// fleetConfigResult is one fleet size's measurement: latency and
+// allocation counts for the first (cold, caches empty) and repeat
+// (warm) servings of the fan-out query.
+type fleetConfigResult struct {
+	Fleet      int     `json:"fleet"` // 0 = inline execution, no fleet
+	ColdMs     float64 `json:"cold_ms"`
+	WarmMs     float64 `json:"warm_ms"` // median of the warm rounds
+	ColdAllocs uint64  `json:"cold_allocs"`
+	WarmAllocs uint64  `json:"warm_allocs"`
+	Scattered  uint64  `json:"scattered,omitempty"`
+	ShardLocal uint64  `json:"shard_local,omitempty"`
+	Declined   uint64  `json:"declined,omitempty"`
+	WorkerHits uint64  `json:"worker_cache_hits,omitempty"`
+}
+
+// fleetBigWorld records the ≥10x world the fleet unlocks: generation,
+// partition and environment-build costs plus a full fleet-served ask.
+type fleetBigWorld struct {
+	Scale       int     `json:"scale"`
+	Routers     int     `json:"routers"`
+	Links       int     `json:"links"`
+	NodeRatio   float64 `json:"node_ratio"` // vs the default full world
+	GenerateMs  float64 `json:"generate_ms"`
+	PartitionMs float64 `json:"partition_ms"`
+	EnvMs       float64 `json:"env_ms"`
+	Fleet       int     `json:"fleet"`
+	ColdMs      float64 `json:"cold_ms"`
+	WarmMs      float64 `json:"warm_ms"`
+	Scattered   uint64  `json:"scattered"`
+}
+
+// fleetReport is the BENCH_8.json schema: the fleet-scaling point of
+// the perf trajectory (distributed scatter-gather execution, PR 8).
+type fleetReport struct {
+	Benchmark  string              `json:"benchmark"`
+	PR         int                 `json:"pr"`
+	World      string              `json:"world"`
+	Seed       uint64              `json:"seed"`
+	Query      string              `json:"query"`
+	WarmRounds int                 `json:"warm_rounds"`
+	Configs    []fleetConfigResult `json:"configs"`
+	BigWorld   fleetBigWorld       `json:"big_world"`
+}
+
+// askAllocs times one curation-free Ask and reports the heap
+// allocations it performed (Mallocs delta around the call; the
+// ReadMemStats stops-the-world sit outside the timed region).
+func askAllocs(sys *arachnet.System, query string) (time.Duration, uint64) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	if _, err := sys.Ask(ctx, query, arachnet.AskWithoutCuration()); err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	return elapsed, m1.Mallocs - m0.Mallocs
+}
+
+// cs1System builds a system over the paper's controlled CS1 registry
+// subset — the one whose plan takes the fan-out chain (cable → links →
+// extract_ips → locate_ips → rollup) whose middle steps scatter over
+// shards. The full registry plans CS1 through the single aggregate
+// step xaminer.impact_from_links, which stays on the coordinator.
+func cs1System(opts ...arachnet.Option) *arachnet.System {
+	sub, err := arachnet.BuiltinRegistry().Subset(arachnet.CS1RegistryNames()...)
+	if err != nil {
+		fatal(err)
+	}
+	sys, err := arachnet.New(append(opts, arachnet.WithRegistry(sub))...)
+	if err != nil {
+		fatal(err)
+	}
+	return sys
+}
+
+// fleetExperiment measures DIMES-style sharded execution: the CS1
+// fan-out query (cable → links → extract_ips → locate_ips → rollup,
+// whose middle steps scatter over shards) served inline (fleet 0),
+// by a degenerate fleet of one, and by a fleet of four — cold and
+// warm, with allocation counts — then demonstrates the capability
+// the fleet exists for: a world ≥10x the default node count, served
+// end-to-end through a fleet of four.
+func fleetExperiment(seed uint64, world, jsonPath string) {
+	header("Fleet scaling (sharded scatter-gather vs inline execution)")
+	const warmRounds = 5
+	query := queries[1]
+	rep := fleetReport{
+		Benchmark: "fleet-scaling", PR: 8,
+		World: world, Seed: seed, Query: query, WarmRounds: warmRounds,
+	}
+
+	worldOpt := arachnet.WithSeed(seed)
+	if world == "small" {
+		worldOpt = arachnet.WithSmallWorld(seed)
+	}
+	fmt.Printf("%-8s %12s %12s %14s %14s\n", "fleet", "cold", "warm(med)", "cold allocs", "warm allocs")
+	for _, n := range []int{0, 1, 4} {
+		opts := []arachnet.Option{worldOpt}
+		if n > 0 {
+			opts = append(opts, arachnet.WithFleet(n))
+		}
+		sys := cs1System(opts...)
+		cold, coldAllocs := askAllocs(sys, query)
+		warms := make([]time.Duration, warmRounds)
+		var warmAllocs uint64
+		for r := range warms {
+			warms[r], warmAllocs = askAllocs(sys, query)
+		}
+		sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+		res := fleetConfigResult{
+			Fleet:  n,
+			ColdMs: ms(cold), WarmMs: ms(warms[warmRounds/2]),
+			ColdAllocs: coldAllocs, WarmAllocs: warmAllocs,
+		}
+		if fs := sys.Fleet(); fs != nil {
+			st := fs.Stats()
+			res.Scattered, res.ShardLocal, res.Declined = st.Scattered, st.ShardLocal, st.Declined
+			for _, sh := range st.Shards {
+				res.WorkerHits += sh.CacheHits
+			}
+			fs.Close()
+		}
+		rep.Configs = append(rep.Configs, res)
+		fmt.Printf("%-8d %12v %12v %14d %14d\n", n,
+			cold.Round(time.Microsecond), warms[warmRounds/2].Round(time.Microsecond),
+			coldAllocs, warmAllocs)
+	}
+
+	// The ≥10x world: scale the density knobs until routers exceed ten
+	// times the default full world, then serve the same query through
+	// a fleet of four.
+	const bigScale = 15
+	defCfg := netsim.DefaultConfig(seed)
+	bigCfg := defCfg
+	bigCfg.StubsPerCountry *= bigScale
+	bigCfg.Tier2PerRegion *= bigScale
+	bigCfg.ContentCount *= bigScale
+
+	defWorld, err := netsim.Generate(defCfg)
+	if err != nil {
+		fatal(err)
+	}
+	t0 := time.Now()
+	bigWorld, err := netsim.Generate(bigCfg)
+	if err != nil {
+		fatal(err)
+	}
+	genMs := ms(time.Since(t0))
+	t0 = time.Now()
+	if _, err := netsim.PartitionWorld(bigWorld, 4); err != nil {
+		fatal(err)
+	}
+	partMs := ms(time.Since(t0))
+	t0 = time.Now()
+	bigSys := cs1System(arachnet.WithWorldConfig(bigCfg), arachnet.WithFleet(4))
+	bw := fleetBigWorld{
+		Scale:   bigScale,
+		Routers: bigWorld.Summary().Routers, Links: bigWorld.Summary().IPLinks,
+		NodeRatio:  float64(bigWorld.Summary().Routers) / float64(defWorld.Summary().Routers),
+		GenerateMs: genMs, PartitionMs: partMs, EnvMs: ms(time.Since(t0)),
+		Fleet: 4,
+	}
+	bigCold, _ := askAllocs(bigSys, query)
+	bigWarms := make([]time.Duration, warmRounds)
+	for r := range bigWarms {
+		bigWarms[r], _ = askAllocs(bigSys, query)
+	}
+	sort.Slice(bigWarms, func(i, j int) bool { return bigWarms[i] < bigWarms[j] })
+	bw.ColdMs, bw.WarmMs = ms(bigCold), ms(bigWarms[warmRounds/2])
+	if fs := bigSys.Fleet(); fs != nil {
+		bw.Scattered = fs.Stats().Scattered
+		fs.Close()
+	}
+	rep.BigWorld = bw
+	fmt.Printf("big world: scale %dx → %d routers (%.1fx default), %d links; gen %.0fms partition %.0fms env %.0fms\n",
+		bw.Scale, bw.Routers, bw.NodeRatio, bw.Links, bw.GenerateMs, bw.PartitionMs, bw.EnvMs)
+	fmt.Printf("big world fleet-4 ask: cold %.1fms warm %.1fms (%d scattered steps)\n",
+		bw.ColdMs, bw.WarmMs, bw.Scattered)
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -55,6 +55,7 @@ func main() {
 		timeout      = flag.Duration("timeout", 2*time.Minute, "default per-request pipeline timeout (0 = unbounded)")
 		maxTimeout   = flag.Duration("max-timeout", 10*time.Minute, "cap on client-requested timeouts (0 = uncapped)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+		fleetN       = flag.Int("fleet", 0, "shard each tenant's world over N fleet workers; fan-out steps scatter-gather across shards (0 = inline execution)")
 		tenantsPath  = flag.String("tenants", "", "path to a JSON array of tenant configurations (empty = one open tenant)")
 	)
 	flag.Parse()
@@ -84,6 +85,7 @@ func main() {
 		QueueDepth:     *depth,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Fleet:          *fleetN,
 	}
 	if *tenantsPath != "" {
 		data, err := os.ReadFile(*tenantsPath)

@@ -42,7 +42,8 @@ func main() {
 		stream      = flag.Bool("stream", false, "stream live pipeline progress (stages, steps, promotions) to stderr while the query runs")
 		noCache     = flag.Bool("no-cache", false, "bypass plan and step memoization for this query")
 		cacheStats  = flag.Bool("cache-stats", false, "print plan/step cache statistics to stderr after the run")
-		monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
+		fleetN      = flag.Int("fleet", 0, "shard the world over N fleet workers; pure fan-out steps scatter-gather across them (0 = run everything inline)")
+	monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
 		injectEvery = flag.Duration("inject-every", 0, "with -monitor: inject a fresh cable-failure scenario on this interval (0 = never)")
 		injectCount = flag.Int("inject-count", 3, "with -monitor and -inject-every: stop injecting after this many scenarios (0 = no limit)")
 	)
@@ -75,6 +76,9 @@ func main() {
 		opts = append(opts, arachnet.WithRegistry(sub))
 	default:
 		fatal(fmt.Errorf("unknown registry %q", *regName))
+	}
+	if *fleetN > 0 {
+		opts = append(opts, arachnet.WithFleet(*fleetN))
 	}
 
 	sys, err := arachnet.New(opts...)
@@ -201,6 +205,14 @@ func main() {
 			st.Plan.Hits, st.Plan.Misses, st.Plan.HitRatio(), st.Plan.Entries, st.Plan.Evictions)
 		fmt.Fprintf(os.Stderr, "step cache: %d hits / %d misses (ratio %.2f), %d entries, ~%d bytes, %d evictions\n",
 			st.Step.Hits, st.Step.Misses, st.Step.HitRatio(), st.Step.Entries, st.Step.Bytes, st.Step.Evictions)
+		if st.Fleet != nil {
+			fmt.Fprintf(os.Stderr, "fleet: %d workers, %d scattered / %d shard-local / %d declined\n",
+				st.Fleet.Workers, st.Fleet.Scattered, st.Fleet.ShardLocal, st.Fleet.Declined)
+			for _, sh := range st.Fleet.Shards {
+				fmt.Fprintf(os.Stderr, "  worker %d: %d countries, %d routers, %d links; %d executed, %d cache hits, %d entries\n",
+					sh.Worker, sh.Countries, sh.Routers, sh.Links, sh.Executed, sh.CacheHits, sh.CacheEntries)
+			}
+		}
 	}
 }
 

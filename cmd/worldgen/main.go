@@ -1,6 +1,10 @@
 // Command worldgen generates a synthetic world and prints its
 // inventory: AS tiers, link media, cable mapping coverage and the
 // busiest cables — the inspection tool for choosing scenario seeds.
+// With -shards it additionally partitions the world for a worker
+// fleet and prints (or emits, with -shards and the default output)
+// the per-shard inventory; -scale multiplies the density knobs to
+// generate the 10-100x worlds the fleet exists to serve.
 package main
 
 import (
@@ -15,9 +19,11 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Uint64("seed", 42, "world seed")
-		small = flag.Bool("small", false, "use the compact 12-country world")
-		top   = flag.Int("top", 10, "how many cables to list")
+		seed   = flag.Uint64("seed", 42, "world seed")
+		small  = flag.Bool("small", false, "use the compact 12-country world")
+		top    = flag.Int("top", 10, "how many cables to list")
+		shards = flag.Int("shards", 0, "partition the world into N fleet shards and print the per-shard inventory")
+		scale  = flag.Int("scale", 1, "multiply world density (stubs per country, tier-2 per region, content ASes) by this factor")
 	)
 	flag.Parse()
 
@@ -25,11 +31,28 @@ func main() {
 	if *small {
 		cfg = netsim.SmallConfig(*seed)
 	}
+	if *scale > 1 {
+		cfg.StubsPerCountry *= *scale
+		cfg.Tier2PerRegion *= *scale
+		cfg.ContentCount *= *scale
+	}
 	w, err := netsim.Generate(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Println("world:", w.Summary())
+
+	if *shards > 0 {
+		p, err := netsim.PartitionWorld(w, *shards)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("partition: %d shards\n", p.N)
+		for _, s := range p.Shards {
+			fmt.Printf("  shard %d: %3d countries %5d routers %6d links  %v\n",
+				s.Index, len(s.Countries), s.Routers, s.Links, s.Countries)
+		}
+	}
 
 	tiers := map[netsim.Tier]int{}
 	for _, a := range w.ASes {

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"net/netip"
+	"reflect"
+	"testing"
+
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+	"arachnet/internal/xaminer"
+)
+
+// hintedValues is one of each shape the fast path covers, sized big
+// enough that content dominates headers.
+func hintedValues() map[string]any {
+	addrs := make([]netip.Addr, 100)
+	for i := range addrs {
+		addrs[i] = netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+	}
+	links := make([]netsim.LinkID, 200)
+	for i := range links {
+		links[i] = netsim.LinkID(i)
+	}
+	rows := make([]GeoRow, 50)
+	for i := range rows {
+		rows[i] = GeoRow{Addr: addrs[i], Country: "DE"}
+	}
+	impacts := make([]xaminer.CountryImpact, 30)
+	for i := range impacts {
+		impacts[i] = xaminer.CountryImpact{Country: "FR", Score: 0.5}
+	}
+	return map[string]any{
+		"ips":    addrs,
+		"links":  links,
+		"geo":    rows,
+		"report": &xaminer.ImpactReport{Scenario: "test", Countries: impacts},
+		"cables": []nautilus.CableID{"SeaMeWe-5", "FLAG"},
+		"text":   "a rendered report",
+		"names":  []string{"alpha", "beta"},
+		"n":      42,
+		"pct":    3.14,
+	}
+}
+
+func TestSizeHintCoversStepOutputs(t *testing.T) {
+	// Every value in a realistic output map must take the fast path,
+	// and the whole map must too.
+	out := hintedValues()
+	if _, ok := sizeHint(out); !ok {
+		t.Fatal("output map did not take the hint fast path")
+	}
+	for k, v := range out {
+		if _, ok := sizeHint(v); !ok {
+			t.Fatalf("output %q (%T) did not take the hint fast path", k, v)
+		}
+	}
+}
+
+func TestSizeHintTracksReflection(t *testing.T) {
+	// Hints replace the reflective walk; they must stay in its
+	// ballpark (same accounting model, modulo sampling error) so byte
+	// bounds keep meaning the same thing. Allow 3x either way.
+	for k, v := range hintedValues() {
+		hinted, ok := sizeHint(v)
+		if !ok {
+			t.Fatalf("%q: no hint", k)
+		}
+		reflected := estimateValue(reflect.ValueOf(v), 4)
+		if hinted > 3*reflected || reflected > 3*hinted {
+			t.Errorf("%q (%T): hint %d vs reflection %d diverge more than 3x", k, v, hinted, reflected)
+		}
+	}
+}
+
+func TestSizeHintScalesWithContent(t *testing.T) {
+	small, _ := sizeHint(make([]netip.Addr, 10))
+	big, _ := sizeHint(make([]netip.Addr, 10000))
+	if big < 100*small/2 {
+		t.Fatalf("hint does not scale: 10 addrs → %d, 10000 addrs → %d", small, big)
+	}
+}
+
+func TestSizeHintFallback(t *testing.T) {
+	// Types outside the catalog's output shapes must decline the fast
+	// path but still be estimated via reflection.
+	type weird struct{ X [256]byte }
+	if _, ok := sizeHint(weird{}); ok {
+		t.Fatal("unexpected hint for unknown struct")
+	}
+	if s := estimateSize(weird{}); s < 256 {
+		t.Fatalf("fallback estimate %d < 256", s)
+	}
+	// A map containing an unhinted value still hints the map and
+	// reflects the odd value out.
+	m := map[string]any{"w": weird{}}
+	s, ok := sizeHint(m)
+	if !ok || s < 256 {
+		t.Fatalf("map with unhinted value: ok=%v size=%d", ok, s)
+	}
+}

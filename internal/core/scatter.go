@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"arachnet/internal/fleet"
+	"arachnet/internal/netsim"
+)
+
+// installScatterSpecs teaches a fleet how the builtin catalog's
+// fan-out capabilities partition and gather. Only capabilities whose
+// inputs have clear shard ownership get specs — everything else is
+// declined back to the coordinator, which is always correct.
+//
+// The invariant every Merge here upholds: the gathered output is
+// byte-identical to running the capability unsharded, for any shard
+// count. Splits must likewise decline (or skip elements) under
+// conditions that do not depend on the shard count, or fleets of
+// different sizes would diverge.
+func installScatterSpecs(f *fleet.Fleet) {
+	// nautilus.extract_ips: links are owned by the shard of their
+	// A-endpoint country; the unsharded output is a sorted address
+	// set, so a sorted dedup union of per-shard sets reproduces it
+	// exactly. Unknown link IDs are skipped, mirroring the
+	// capability's own behavior.
+	f.SetScatter("nautilus.extract_ips", fleet.Scatter{
+		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+			links, ok := in["links"].([]netsim.LinkID)
+			if !ok {
+				return nil, false
+			}
+			parts := map[int]map[string]any{}
+			for _, id := range links {
+				s := p.ShardOfLink(id)
+				if s < 0 {
+					continue // unknown link: the capability skips it too
+				}
+				part := parts[s]
+				if part == nil {
+					part = map[string]any{"links": []netsim.LinkID(nil)}
+					parts[s] = part
+				}
+				part["links"] = append(part["links"].([]netsim.LinkID), id)
+			}
+			return parts, true
+		},
+		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+			set := map[netip.Addr]bool{}
+			for shard, out := range parts {
+				ips, ok := out["ips"].([]netip.Addr)
+				if !ok {
+					return nil, fmt.Errorf("shard %d produced %T for ips", shard, out["ips"])
+				}
+				for _, a := range ips {
+					set[a] = true
+				}
+			}
+			merged := make([]netip.Addr, 0, len(set))
+			for a := range set {
+				merged = append(merged, a)
+			}
+			sort.Slice(merged, func(i, j int) bool { return merged[i].Less(merged[j]) })
+			return map[string]any{"ips": merged}, nil
+		},
+	})
+
+	// geo.locate_ips: addresses are owned by the shard of the country
+	// their covering prefix was allocated to. The unsharded output is
+	// one GeoRow per locatable input address, in input order; the
+	// gather replays the input order, pulling each row from its owning
+	// shard's (order-preserving) output and conflict-checking the
+	// address. Unlocatable addresses are skipped at split time —
+	// exactly the rows the capability itself would drop.
+	f.SetScatter("geo.locate_ips", fleet.Scatter{
+		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+			ips, ok := in["ips"].([]netip.Addr)
+			if !ok {
+				return nil, false
+			}
+			parts := map[int]map[string]any{}
+			for _, a := range ips {
+				s := p.ShardOfAddr(a)
+				if s < 0 {
+					continue // unlocatable: the capability drops it too
+				}
+				part := parts[s]
+				if part == nil {
+					part = map[string]any{"ips": []netip.Addr(nil)}
+					parts[s] = part
+				}
+				part["ips"] = append(part["ips"].([]netip.Addr), a)
+			}
+			return parts, true
+		},
+		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+			ips, ok := orig["ips"].([]netip.Addr)
+			if !ok {
+				return nil, fmt.Errorf("original ips input is %T", orig["ips"])
+			}
+			rowsOf := make(map[int][]GeoRow, len(parts))
+			for shard, out := range parts {
+				rows, ok := out["geo"].([]GeoRow)
+				if !ok {
+					return nil, fmt.Errorf("shard %d produced %T for geo", shard, out["geo"])
+				}
+				rowsOf[shard] = rows
+			}
+			cursor := map[int]int{}
+			merged := make([]GeoRow, 0, len(ips))
+			for _, a := range ips {
+				s := p.ShardOfAddr(a)
+				if s < 0 {
+					continue
+				}
+				rows := rowsOf[s]
+				i := cursor[s]
+				if i >= len(rows) {
+					return nil, fmt.Errorf("shard %d returned %d rows, need more for %s", s, len(rows), a)
+				}
+				if rows[i].Addr != a {
+					return nil, fmt.Errorf("shard %d row %d is %s, want %s (order conflict)", s, i, rows[i].Addr, a)
+				}
+				cursor[s] = i + 1
+				merged = append(merged, rows[i])
+			}
+			for s, rows := range rowsOf {
+				if cursor[s] != len(rows) {
+					return nil, fmt.Errorf("shard %d returned %d surplus rows", s, len(rows)-cursor[s])
+				}
+			}
+			return map[string]any{"geo": merged}, nil
+		},
+	})
+}

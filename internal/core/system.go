@@ -14,6 +14,7 @@ import (
 	"arachnet/internal/agents/registrycurator"
 	"arachnet/internal/agents/solutionweaver"
 	"arachnet/internal/agents/workflowscout"
+	"arachnet/internal/fleet"
 	"arachnet/internal/nlq"
 	"arachnet/internal/registry"
 	"arachnet/internal/workflow"
@@ -161,6 +162,13 @@ type System struct {
 	// Both are shared by every serving surface.
 	planCache *lruCache
 	stepCache *lruCache
+
+	// fleet, when set, dispatches pure shard-partitionable steps to a
+	// sharded worker pool instead of running them inline (see
+	// internal/fleet and scatter.go). Guarded by fleetMu so SetFleet
+	// is safe concurrently with serving.
+	fleetMu sync.RWMutex
+	fleet   *fleet.Fleet
 }
 
 // maxHistory bounds the observation window curation mines. Patterns
@@ -208,12 +216,18 @@ func (s *System) SetCacheLimits(planEntries, stepEntries int, stepBytes int64) {
 }
 
 // CacheStats snapshots hit/miss/eviction counters and current
-// footprint for the plan and step caches.
+// footprint for the plan and step caches, plus — when a fleet is
+// attached — per-worker shard and cache counters.
 func (s *System) CacheStats() CacheStats {
-	return CacheStats{
+	st := CacheStats{
 		Plan: s.planCache.Counters(),
 		Step: s.stepCache.Counters(),
 	}
+	if f := s.Fleet(); f != nil {
+		fs := f.Stats()
+		st.Fleet = &fs
+	}
+	return st
 }
 
 // CacheStats is the observable state of a System's two caches.
@@ -222,6 +236,33 @@ type CacheStats struct {
 	Plan CacheCounters `json:"plan"`
 	// Step counts execution-layer memoization (pure capability steps).
 	Step CacheCounters `json:"step"`
+	// Fleet, when the System serves over a worker fleet, snapshots
+	// dispatch counters and per-worker shard inventory/caches.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
+}
+
+// SetFleet attaches a sharded worker fleet: pure steps of capabilities
+// with scatter specs are dispatched to the shard owning their data
+// (and fan-out inputs scatter over all owning shards, gathering
+// deterministically), instead of executing inline. The builtin
+// catalog's scatter specs are installed on f. A nil fleet detaches
+// (subsequent runs execute fully local). The caller keeps ownership
+// of f and must Close it when done. Safe to call concurrently with
+// serving; in-flight runs keep the dispatcher they started with.
+func (s *System) SetFleet(f *fleet.Fleet) {
+	if f != nil {
+		installScatterSpecs(f)
+	}
+	s.fleetMu.Lock()
+	s.fleet = f
+	s.fleetMu.Unlock()
+}
+
+// Fleet returns the attached worker fleet, or nil.
+func (s *System) Fleet() *fleet.Fleet {
+	s.fleetMu.RLock()
+	defer s.fleetMu.RUnlock()
+	return s.fleet
 }
 
 // Registry exposes the live registry (it evolves as the curator
@@ -386,6 +427,9 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 			workflow.WithEnvKeyer(func(capb *registry.Capability) string {
 				return s.env.FacetFingerprint(capb.Reads)
 			}))
+	}
+	if f := s.Fleet(); f != nil {
+		engineOpts = append(engineOpts, workflow.WithDispatcher(f))
 	}
 	engine := workflow.NewEngine(s.reg, s.env, engineOpts...)
 	result, err := engine.Run(exCtx, solution.Workflow)

@@ -1,0 +1,265 @@
+// Package fleet implements ArachNet's sharded worker fleet: the
+// DIMES-style execution tier where the netsim world is partitioned
+// into vantage-point shards (internal/netsim.PartitionWorld), each
+// owned by one Worker — a goroutine pool plus a local step cache —
+// and pure capability steps are routed to the shard that owns their
+// data instead of running on the coordinator.
+//
+// # Model
+//
+// A Fleet is a workflow.Dispatcher. For each step the engine offers,
+// the fleet consults the step capability's Scatter spec:
+//
+//   - Split partitions the step's input map by shard ownership
+//     (links by their A-endpoint country, addresses by geolocated
+//     prefix, ...). Inputs that land on a single shard become a
+//     shard-local dispatch to the owning worker; inputs spanning
+//     shards become a scatter — one sub-request per owning worker,
+//     executed concurrently.
+//   - Merge is the gather step: it combines the per-shard partial
+//     outputs deterministically (sorted, conflict-checked) so the
+//     merged result is byte-identical to running the capability
+//     unsharded on the coordinator, regardless of shard count.
+//
+// Capabilities without a spec, inputs Split cannot partition, and
+// impure or coordinator-pinned steps are declined back to the engine,
+// which runs them locally — correctness never depends on the fleet.
+//
+// # Transport seam
+//
+// Workers are reached exclusively through the Transport interface.
+// The in-process implementation (NewLocalTransport) delivers requests
+// over per-worker channels to goroutine pools in the same address
+// space; a future gRPC transport implements the same three methods
+// against remote processes, each holding its own shard and registry
+// replica, without touching the dispatcher or the engine. Requests
+// carry the capability name for exactly that reason — the in-process
+// capability pointer is a fast path, not part of the contract.
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"arachnet/internal/netsim"
+	"arachnet/internal/registry"
+)
+
+// Scatter describes how one capability's steps scatter over shards
+// and gather back.
+type Scatter struct {
+	// Split partitions the step input by owning shard. Returning
+	// ok=false declines the step (inputs missing, unpartitionable, or
+	// containing data no shard owns); the decline condition must not
+	// depend on the shard count, or differently-sized fleets would
+	// diverge. An empty part map also declines.
+	Split func(p *netsim.Partition, in map[string]any) (parts map[int]map[string]any, ok bool)
+	// Merge gathers per-shard outputs into the step's final output
+	// map. It receives the partition and the original input map so
+	// order-sensitive capabilities can reconstruct input order. The
+	// merged result must be identical to what the capability produces
+	// unsharded.
+	Merge func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error)
+}
+
+// Config sizes a Fleet.
+type Config struct {
+	// Workers is the number of shards/workers (>= 1).
+	Workers int
+	// WorkerParallelism bounds concurrent requests per worker
+	// (default 2).
+	WorkerParallelism int
+	// CacheEntries bounds each worker's local step cache (default
+	// 512; 0 uses the default, negative disables worker caching).
+	CacheEntries int
+	// WrapTransport, if set, wraps the in-process transport —
+	// the seam for instrumentation and alternative transports.
+	WrapTransport func(Transport) Transport
+}
+
+// Fleet is a sharded worker pool implementing workflow.Dispatcher
+// over a partitioned world.
+type Fleet struct {
+	part      *netsim.Partition
+	workers   []*Worker
+	transport Transport
+
+	mu       sync.RWMutex
+	scatters map[string]Scatter
+
+	scattered  atomic.Uint64
+	shardLocal atomic.Uint64
+	declined   atomic.Uint64
+
+	closeOnce sync.Once
+}
+
+// New partitions the world into cfg.Workers shards and starts one
+// worker per shard.
+func New(w *netsim.World, cfg Config) (*Fleet, error) {
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("fleet: %d workers < 1", cfg.Workers)
+	}
+	if cfg.WorkerParallelism < 1 {
+		cfg.WorkerParallelism = 2
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 512
+	}
+	part, err := netsim.PartitionWorld(w, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{part: part, scatters: map[string]Scatter{}}
+	f.workers = make([]*Worker, cfg.Workers)
+	for i := range f.workers {
+		f.workers[i] = newWorker(i, part.Shards[i], cfg.CacheEntries)
+	}
+	f.transport = NewLocalTransport(f.workers, cfg.WorkerParallelism)
+	if cfg.WrapTransport != nil {
+		f.transport = cfg.WrapTransport(f.transport)
+	}
+	return f, nil
+}
+
+// SetScatter registers (or replaces) the scatter spec for a
+// capability. Steps of capabilities without a spec are declined.
+func (f *Fleet) SetScatter(capability string, s Scatter) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.scatters[capability] = s
+}
+
+// Partition exposes the fleet's world partition (for planners and
+// split functions).
+func (f *Fleet) Partition() *netsim.Partition { return f.part }
+
+// Workers returns the shard/worker count.
+func (f *Fleet) Workers() int { return len(f.workers) }
+
+// DispatchStep implements workflow.Dispatcher: split the input by
+// shard ownership, fan sub-requests out over the transport, and
+// gather the partial outputs with the capability's Merge.
+func (f *Fleet) DispatchStep(ctx context.Context, capb *registry.Capability, in map[string]any, env any, fingerprint string) (map[string]any, bool, error) {
+	f.mu.RLock()
+	spec, ok := f.scatters[capb.Name]
+	f.mu.RUnlock()
+	if !ok || spec.Split == nil || spec.Merge == nil {
+		f.declined.Add(1)
+		return nil, false, nil
+	}
+	parts, ok := spec.Split(f.part, in)
+	if !ok || len(parts) == 0 {
+		f.declined.Add(1)
+		return nil, false, nil
+	}
+
+	shards := make([]int, 0, len(parts))
+	for s := range parts {
+		if s < 0 || s >= len(f.workers) {
+			f.declined.Add(1)
+			return nil, false, nil
+		}
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+
+	type reply struct {
+		shard int
+		resp  Response
+		err   error
+	}
+	replies := make(chan reply, len(shards))
+	for _, s := range shards {
+		s := s
+		req := Request{
+			Cap:        capb.Name,
+			Capability: capb,
+			In:         parts[s],
+			Env:        env,
+			Key:        workerKey(fingerprint, s),
+		}
+		go func() {
+			resp, err := f.transport.Send(ctx, s, req)
+			replies <- reply{shard: s, resp: resp, err: err}
+		}()
+	}
+	outs := make(map[int]map[string]any, len(shards))
+	var firstErr error
+	for range shards {
+		r := <-replies
+		if r.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: worker %d: %w", r.shard, r.err)
+		}
+		outs[r.shard] = r.resp.Out
+	}
+	if firstErr != nil {
+		return nil, true, firstErr
+	}
+
+	merged, err := spec.Merge(f.part, in, outs)
+	if err != nil {
+		return nil, true, fmt.Errorf("fleet: gather %s: %w", capb.Name, err)
+	}
+	if len(shards) == 1 {
+		f.shardLocal.Add(1)
+	} else {
+		f.scattered.Add(1)
+	}
+	return merged, true, nil
+}
+
+// workerKey derives a worker-local cache key from a step fingerprint
+// and the shard index. The per-shard input for a given fingerprint is
+// deterministic (Split is a pure function of world and input), so the
+// pair identifies the partial result exactly. An empty fingerprint
+// disables worker caching for the request.
+func workerKey(fingerprint string, shard int) string {
+	if fingerprint == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s|%d", fingerprint, shard)
+}
+
+// ShardStats describes one worker's shard inventory and counters.
+type ShardStats struct {
+	Worker       int    `json:"worker"`
+	Countries    int    `json:"countries"`
+	Routers      int    `json:"routers"`
+	Links        int    `json:"links"`
+	Executed     uint64 `json:"executed"`
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheEntries int    `json:"cache_entries"`
+}
+
+// Stats is a point-in-time snapshot of fleet activity.
+type Stats struct {
+	Workers    int          `json:"workers"`
+	Scattered  uint64       `json:"scattered"`
+	ShardLocal uint64       `json:"shard_local"`
+	Declined   uint64       `json:"declined"`
+	Shards     []ShardStats `json:"shards"`
+}
+
+// Stats snapshots dispatch counters and per-worker shard inventory.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Workers:    len(f.workers),
+		Scattered:  f.scattered.Load(),
+		ShardLocal: f.shardLocal.Load(),
+		Declined:   f.declined.Load(),
+		Shards:     make([]ShardStats, len(f.workers)),
+	}
+	for i, w := range f.workers {
+		st.Shards[i] = w.stats()
+	}
+	return st
+}
+
+// Close shuts the transport down. Idempotent.
+func (f *Fleet) Close() {
+	f.closeOnce.Do(func() { f.transport.Close() })
+}

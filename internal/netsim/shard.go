@@ -1,0 +1,149 @@
+package netsim
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Shard is one partition of a World: a set of countries and the
+// routers/links they own. Shards are the unit of placement for the
+// worker fleet — each fleet worker owns exactly one shard and answers
+// for the vantage points inside it.
+type Shard struct {
+	Index     int
+	Countries []string // ISO codes, sorted
+	Routers   int      // routers homed in these countries
+	Links     int      // links owned by this shard (by A-endpoint country)
+}
+
+// Partition is a deterministic split of a World into N shards along
+// country boundaries. Countries are the natural vantage-point grain of
+// the simulated Internet (per DIMES: many small agents, each observing
+// from where it sits), and partitioning along them keeps every router
+// and every link owned by exactly one shard.
+//
+// Ownership rules:
+//   - a router belongs to the shard of its Country;
+//   - a link belongs to the shard of its A-endpoint's country (links
+//     are directed at generation time, so this is deterministic and
+//     conflict-free even for cross-border and submarine links);
+//   - an address belongs to the shard of the country its covering
+//     prefix was allocated to.
+//
+// The same (world, n) always yields the same Partition: countries are
+// assigned greedily, heaviest first (by router count, ties broken by
+// ISO code), to the currently lightest shard. This balances shards
+// without any randomness.
+type Partition struct {
+	N      int
+	Shards []Shard
+
+	countryShard map[string]int
+	linkShard    map[LinkID]int
+	world        *World
+}
+
+// PartitionWorld splits w into n shards. n must be >= 1; a single
+// shard is valid and owns everything (the degenerate fleet-of-one).
+func PartitionWorld(w *World, n int) (*Partition, error) {
+	if w == nil {
+		return nil, fmt.Errorf("netsim: partition of nil world")
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("netsim: shard count %d < 1", n)
+	}
+
+	// Weigh each country by how many routers it homes.
+	routersByCC := make(map[string]int)
+	for i := range w.Routers {
+		routersByCC[w.Routers[i].Country]++
+	}
+	ccs := make([]string, 0, len(routersByCC))
+	for cc := range routersByCC {
+		ccs = append(ccs, cc)
+	}
+	// Heaviest first; ISO code breaks ties so the order — and hence
+	// the assignment — is a pure function of the world.
+	sort.Slice(ccs, func(i, j int) bool {
+		ri, rj := routersByCC[ccs[i]], routersByCC[ccs[j]]
+		if ri != rj {
+			return ri > rj
+		}
+		return ccs[i] < ccs[j]
+	})
+
+	p := &Partition{
+		N:            n,
+		Shards:       make([]Shard, n),
+		countryShard: make(map[string]int, len(ccs)),
+		linkShard:    make(map[LinkID]int, len(w.IPLinks)),
+		world:        w,
+	}
+	for i := range p.Shards {
+		p.Shards[i].Index = i
+	}
+
+	// Greedy balanced assignment: each country goes to the shard with
+	// the fewest routers so far (lowest index wins ties).
+	for _, cc := range ccs {
+		best := 0
+		for i := 1; i < n; i++ {
+			if p.Shards[i].Routers < p.Shards[best].Routers {
+				best = i
+			}
+		}
+		p.countryShard[cc] = best
+		p.Shards[best].Countries = append(p.Shards[best].Countries, cc)
+		p.Shards[best].Routers += routersByCC[cc]
+	}
+	for i := range p.Shards {
+		sort.Strings(p.Shards[i].Countries)
+	}
+
+	// Links are owned by the country of their A endpoint.
+	for i := range w.IPLinks {
+		l := &w.IPLinks[i]
+		cc := w.CountryOfRouter(l.A)
+		s, ok := p.countryShard[cc]
+		if !ok {
+			return nil, fmt.Errorf("netsim: link %d endpoint router %d has unassigned country %q", l.ID, l.A, cc)
+		}
+		p.linkShard[l.ID] = s
+		p.Shards[s].Links++
+	}
+	return p, nil
+}
+
+// ShardOfCountry returns the shard owning the given ISO country code,
+// or -1 if the country is not in the world.
+func (p *Partition) ShardOfCountry(cc string) int {
+	s, ok := p.countryShard[cc]
+	if !ok {
+		return -1
+	}
+	return s
+}
+
+// ShardOfLink returns the shard owning the given link, or -1 if the
+// link is unknown.
+func (p *Partition) ShardOfLink(id LinkID) int {
+	s, ok := p.linkShard[id]
+	if !ok {
+		return -1
+	}
+	return s
+}
+
+// ShardOfAddr returns the shard owning the country the address
+// geolocates to, or -1 if the address has no covering prefix.
+func (p *Partition) ShardOfAddr(a netip.Addr) int {
+	cc, ok := p.world.Locate(a)
+	if !ok {
+		return -1
+	}
+	return p.ShardOfCountry(cc)
+}
+
+// World returns the world this partition was built from.
+func (p *Partition) World() *World { return p.world }

@@ -1,0 +1,151 @@
+package netsim
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPartitionDeterministic(t *testing.T) {
+	w, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := PartitionWorld(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PartitionWorld(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Shards, b.Shards) {
+		t.Fatalf("partition not deterministic:\n%+v\nvs\n%+v", a.Shards, b.Shards)
+	}
+	// And across separately generated identical worlds.
+	w2, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := PartitionWorld(w2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Shards, c.Shards) {
+		t.Fatalf("partition differs across identically-seeded worlds")
+	}
+}
+
+func TestPartitionDisjointComplete(t *testing.T) {
+	w, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		p, err := PartitionWorld(w, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every country in exactly one shard.
+		seen := map[string]int{}
+		for _, s := range p.Shards {
+			for _, cc := range s.Countries {
+				if prev, dup := seen[cc]; dup {
+					t.Fatalf("n=%d: country %s in shards %d and %d", n, cc, prev, s.Index)
+				}
+				seen[cc] = s.Index
+			}
+		}
+		if len(seen) != len(w.Countries) {
+			t.Fatalf("n=%d: %d countries assigned, world has %d", n, len(seen), len(w.Countries))
+		}
+		// Every router and link owned by exactly one shard, and the
+		// per-shard counters add back up to the world totals.
+		routers, links := 0, 0
+		for _, s := range p.Shards {
+			routers += s.Routers
+			links += s.Links
+		}
+		if routers != len(w.Routers) {
+			t.Fatalf("n=%d: shard router counts sum to %d, world has %d", n, routers, len(w.Routers))
+		}
+		if links != len(w.IPLinks) {
+			t.Fatalf("n=%d: shard link counts sum to %d, world has %d", n, links, len(w.IPLinks))
+		}
+		for i := range w.Routers {
+			if got := p.ShardOfCountry(w.Routers[i].Country); got < 0 || got >= n {
+				t.Fatalf("n=%d: router %d country %s → shard %d", n, w.Routers[i].ID, w.Routers[i].Country, got)
+			}
+		}
+		for i := range w.IPLinks {
+			l := &w.IPLinks[i]
+			got := p.ShardOfLink(l.ID)
+			if got < 0 || got >= n {
+				t.Fatalf("n=%d: link %d → shard %d", n, l.ID, got)
+			}
+			want := p.ShardOfCountry(w.CountryOfRouter(l.A))
+			if got != want {
+				t.Fatalf("n=%d: link %d owned by shard %d, A-endpoint country owned by %d", n, l.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	w, err := Generate(DefaultConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionWorld(w, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := p.Shards[0].Routers, p.Shards[0].Routers
+	for _, s := range p.Shards[1:] {
+		if s.Routers < min {
+			min = s.Routers
+		}
+		if s.Routers > max {
+			max = s.Routers
+		}
+	}
+	if min == 0 {
+		t.Fatalf("empty shard in %+v", p.Shards)
+	}
+	// Greedy heaviest-first keeps the spread within one country's
+	// weight; 2x is a generous ceiling that catches gross imbalance.
+	if max > 2*min {
+		t.Fatalf("unbalanced shards: min=%d max=%d (%+v)", min, max, p.Shards)
+	}
+}
+
+func TestPartitionAddrLookup(t *testing.T) {
+	w, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PartitionWorld(w, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range w.Routers {
+		r := &w.Routers[i]
+		got := p.ShardOfAddr(r.Addr)
+		want := p.ShardOfCountry(r.Country)
+		if got != want {
+			t.Fatalf("router %d addr %s → shard %d, country %s → shard %d", r.ID, r.Addr, got, r.Country, want)
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	w, err := Generate(SmallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PartitionWorld(w, 0); err == nil {
+		t.Fatal("expected error for n=0")
+	}
+	if _, err := PartitionWorld(nil, 2); err == nil {
+		t.Fatal("expected error for nil world")
+	}
+}

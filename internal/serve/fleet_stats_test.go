@@ -1,0 +1,78 @@
+package serve
+
+// Fleet-aware stats: with Config.Fleet set, every tenant gets its own
+// worker fleet and /v1/stats must expose its counters — total
+// scatter/shard-local/declined dispatches plus per-worker shard
+// inventory and cache activity.
+
+import (
+	"net/http"
+	"testing"
+
+	"arachnet/internal/core"
+	"arachnet/internal/fleet"
+)
+
+func TestStatsExposeFleetCounters(t *testing.T) {
+	_, ts := startServer(t, Config{
+		Env:   testEnv(t),
+		Fleet: 2,
+		Tenants: []TenantConfig{{
+			Name: "default", Capabilities: core.CS1RegistryNames(),
+		}},
+	})
+
+	// Serve the fan-out query so the fleet actually handles steps.
+	resp := postJSON(t, ts.URL+"/v1/ask", map[string]any{
+		"query": "Identify the impact at a country level due to SeaMeWe-5 cable failure",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ask status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	sresp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("stats status %d", sresp.StatusCode)
+	}
+	var stats struct {
+		Tenants map[string]struct {
+			Cache struct {
+				Fleet *fleet.Stats `json:"fleet"`
+			} `json:"cache"`
+		} `json:"tenants"`
+	}
+	decodeBody(t, sresp, &stats)
+
+	ten, ok := stats.Tenants["default"]
+	if !ok {
+		t.Fatalf("no default tenant in stats: %v", stats)
+	}
+	fs := ten.Cache.Fleet
+	if fs == nil {
+		t.Fatal("stats carry no fleet block despite Config.Fleet=2")
+	}
+	if fs.Workers != 2 {
+		t.Errorf("fleet workers = %d, want 2", fs.Workers)
+	}
+	if fs.Scattered+fs.ShardLocal == 0 {
+		t.Errorf("fleet handled no steps: %+v", fs)
+	}
+	if len(fs.Shards) != 2 {
+		t.Fatalf("stats carry %d shard entries, want 2", len(fs.Shards))
+	}
+	var routers, executed uint64
+	for _, sh := range fs.Shards {
+		routers += uint64(sh.Routers)
+		executed += sh.Executed
+	}
+	if routers == 0 {
+		t.Error("per-worker shard inventory reports zero routers")
+	}
+	if executed == 0 {
+		t.Error("no worker reports executed steps")
+	}
+}

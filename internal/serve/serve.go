@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"arachnet/internal/core"
+	"arachnet/internal/fleet"
 	"arachnet/internal/registry"
 )
 
@@ -88,6 +89,14 @@ type Config struct {
 	// what a request may ask for (0 = uncapped).
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
+	// Fleet, when positive, attaches a sharded worker fleet of that
+	// many workers to every tenant System: pure fan-out steps are
+	// scattered over world shards and gathered deterministically
+	// instead of running inline (see internal/fleet). Per-tenant
+	// fleets keep worker-cache isolation aligned with the rest of the
+	// tenancy model. /v1/stats exposes each tenant's per-worker shard
+	// and cache counters.
+	Fleet int
 	// Tenants declares the tenant set; empty means one open tenant
 	// named "default".
 	Tenants []TenantConfig
@@ -186,6 +195,13 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := sys.SetScheduler(s.sched, tc.Name); err != nil {
 			return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
 		}
+		if cfg.Fleet > 0 {
+			f, err := fleet.New(cfg.Env.World, fleet.Config{Workers: cfg.Fleet})
+			if err != nil {
+				return nil, fmt.Errorf("serve: tenant %q fleet: %w", tc.Name, err)
+			}
+			sys.SetFleet(f)
+		}
 		s.sched.SetClass(tc.Name, core.ClassConfig{
 			Weight:     tc.Weight,
 			MaxQueued:  tc.MaxQueued,
@@ -248,6 +264,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		t.sys.Close()
 	}
 	err := s.sched.Drain(ctx)
+	defer func() {
+		// Fleets stop after the drain so in-flight dispatched steps
+		// finish on their workers rather than erroring mid-run.
+		for _, t := range s.tenants {
+			if f := t.sys.Fleet(); f != nil {
+				f.Close()
+			}
+		}
+	}()
 	if err != nil {
 		// Past the deadline: abort detached jobs so workers come home.
 		s.cancelJobs()

@@ -80,7 +80,15 @@ type Step struct {
 	Phase string `json:"phase,omitempty"`
 	// Note is a free-form design annotation carried into generated code.
 	Note string `json:"note,omitempty"`
+	// Affinity places the step for distributed execution. Empty (the
+	// default) lets an engine Dispatcher take the step if it knows how;
+	// AffinityCoordinator pins it to the coordinator process.
+	Affinity string `json:"affinity,omitempty"`
 }
+
+// AffinityCoordinator pins a step to the coordinator: it is never
+// offered to a Dispatcher even when its capability is pure.
+const AffinityCoordinator = "coordinator"
 
 // QualityKind classifies embedded quality checks.
 type QualityKind string
@@ -252,6 +260,9 @@ type StepStat struct {
 	// Cached marks a step whose outputs were served from the engine's
 	// Cache instead of invoking the capability.
 	Cached bool `json:"cached,omitempty"`
+	// Remote marks a step executed by a Dispatcher (worker fleet)
+	// rather than inline by the engine.
+	Remote bool `json:"remote,omitempty"`
 }
 
 // CheckResult records one evaluated quality check.
@@ -317,6 +328,20 @@ type Cache interface {
 	Put(key string, outputs map[string]any)
 }
 
+// Dispatcher routes a step to remote execution — a worker fleet, a
+// shard owner, anything on the far side of a transport. The engine
+// offers every pure step whose Affinity is not AffinityCoordinator;
+// the dispatcher either handles it (handled=true, returning the
+// complete output map or an execution error) or declines
+// (handled=false), in which case the engine runs the capability
+// locally. fingerprint is the step's deterministic cache key ("" when
+// the step is not memoizable) so remote workers can keep their own
+// result caches. Implementations must be safe for concurrent use and
+// must return output maps the caller may treat as immutable.
+type Dispatcher interface {
+	DispatchStep(ctx context.Context, capb *registry.Capability, in map[string]any, env any, fingerprint string) (out map[string]any, handled bool, err error)
+}
+
 // Engine executes validated workflows against a registry and a shared
 // environment value passed to every capability call. Steps whose
 // inputs do not depend on each other run concurrently, bounded by the
@@ -330,6 +355,7 @@ type Engine struct {
 	cache       Cache
 	envFP       string
 	envKeyer    func(*registry.Capability) string
+	dispatcher  Dispatcher
 }
 
 // EngineOption configures an Engine.
@@ -378,6 +404,15 @@ func WithCache(c Cache, envFingerprint string) EngineOption {
 // WithCache fingerprint. Ignored without a cache.
 func WithEnvKeyer(keyer func(*registry.Capability) string) EngineOption {
 	return func(e *Engine) { e.envKeyer = keyer }
+}
+
+// WithDispatcher offers pure, coordinator-unpinned steps to d before
+// running them locally. The engine still owns scheduling, caching, and
+// contract verification; the dispatcher only decides *where* a step's
+// capability executes. A nil dispatcher keeps everything local (the
+// default).
+func WithDispatcher(d Dispatcher) EngineOption {
+	return func(e *Engine) { e.dispatcher = d }
 }
 
 // NewEngine builds an engine.
@@ -540,9 +575,11 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 	}
 
 	// Cache keys are computed up front from the plan alone; a step with
-	// an empty fingerprint is never memoized.
+	// an empty fingerprint is never memoized. A dispatcher needs them
+	// even without an engine cache: remote workers key their local
+	// caches by the same fingerprints.
 	var fps []string
-	if e.cache != nil {
+	if e.cache != nil || e.dispatcher != nil {
 		fps = e.fingerprints(w, index)
 	}
 
@@ -590,7 +627,7 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 			res.Provenance = append(res.Provenance,
 				fmt.Sprintf("step %s (%s): ok (cached)", s.ID, s.Capability))
 		} else {
-			if fps != nil && fps[d.idx] != "" {
+			if e.cache != nil && fps[d.idx] != "" {
 				e.cache.Put(fps[d.idx], d.out)
 			}
 			res.Provenance = append(res.Provenance,
@@ -613,7 +650,7 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 		}
 		// Memoized pure step: serve the cached outputs inline on the
 		// scheduler goroutine — no worker, no capability call.
-		if fps != nil && fps[i] != "" {
+		if e.cache != nil && fps[i] != "" {
 			if out, ok := e.cache.Get(fps[i]); ok {
 				settle(stepDone{
 					idx:  i,
@@ -633,19 +670,47 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 			}
 		}
 		running++
+		// Dispatchable step: offer it to the fleet; a decline falls back
+		// to local execution in the same worker goroutine.
+		if e.dispatcher != nil && capb.Pure && s.Affinity != AffinityCoordinator {
+			fp := fps[i]
+			go func() {
+				start := time.Now()
+				out, handled, err := func() (out map[string]any, handled bool, err error) {
+					// Dispatch shares the panic containment of local
+					// capability calls: a broken merge or transport must
+					// fail the step, not the process.
+					defer func() {
+						if r := recover(); r != nil {
+							handled, err = true, fmt.Errorf("dispatch panicked: %v", r)
+						}
+					}()
+					return e.dispatcher.DispatchStep(ctx, capb, in, e.env, fp)
+				}()
+				if handled {
+					done <- stepDone{
+						idx:  i,
+						capb: capb,
+						stat: StepStat{ID: s.ID, Capability: s.Capability, Duration: time.Since(start), Err: err, Remote: true},
+						out:  out,
+					}
+					return
+				}
+				call := &registry.Call{In: in, Out: map[string]any{}, Env: e.env, Ctx: ctx}
+				err = e.safeCall(capb, call)
+				done <- stepDone{
+					idx:  i,
+					capb: capb,
+					stat: StepStat{ID: s.ID, Capability: s.Capability, Duration: time.Since(start), Err: err},
+					out:  call.Out,
+				}
+			}()
+			return
+		}
 		go func() {
 			call := &registry.Call{In: in, Out: map[string]any{}, Env: e.env, Ctx: ctx}
 			start := time.Now()
-			err := func() (err error) {
-				// A panicking capability must fail its step, not kill
-				// the process serving every other caller.
-				defer func() {
-					if r := recover(); r != nil {
-						err = fmt.Errorf("capability panicked: %v", r)
-					}
-				}()
-				return capb.Impl(call)
-			}()
+			err := e.safeCall(capb, call)
 			done <- stepDone{
 				idx:  i,
 				capb: capb,
@@ -692,6 +757,18 @@ func (e *Engine) Run(ctx context.Context, w *Workflow) (*Result, error) {
 		res.Provenance = append(res.Provenance, fmt.Sprintf("check %s [%s]: %s %s", chk.Name, chk.Kind, status, note))
 	}
 	return res, nil
+}
+
+// safeCall invokes a capability with panic containment: a panicking
+// implementation fails its step, not the process serving every other
+// caller.
+func (e *Engine) safeCall(capb *registry.Capability, call *registry.Call) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("capability panicked: %v", r)
+		}
+	}()
+	return capb.Impl(call)
 }
 
 // stepFinished reports one completed step to every observer.
