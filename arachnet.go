@@ -91,6 +91,7 @@ import (
 	"arachnet/internal/eval"
 	"arachnet/internal/expert"
 	"arachnet/internal/fleet"
+	"arachnet/internal/fleetwire"
 	"arachnet/internal/geo"
 	"arachnet/internal/netsim"
 	"arachnet/internal/registry"
@@ -163,6 +164,10 @@ type (
 	FleetStats = fleet.Stats
 	// FleetShardStats describes one worker's shard and local cache.
 	FleetShardStats = fleet.ShardStats
+	// FleetWireStats counts remote-transport activity when the fleet
+	// runs over real worker processes (see WithRemoteFleet); surfaced
+	// as FleetStats.Wire.
+	FleetWireStats = fleet.WireStats
 	// JobSummary is a serialization-friendly snapshot of one Job.
 	JobSummary = core.JobSummary
 	// Scheduler is a weighted-fair job queue plus its worker pool;
@@ -343,10 +348,11 @@ func AskParallelism(n int) AskOption { return core.AskParallelism(n) }
 
 // options collects construction parameters.
 type options struct {
-	world    netsim.Config
-	scenario *core.ScenarioConfig
-	registry *registry.Registry
-	fleet    int
+	world       netsim.Config
+	scenario    *core.ScenarioConfig
+	registry    *registry.Registry
+	fleet       int
+	fleetRemote []string
 }
 
 // Option configures New.
@@ -390,6 +396,20 @@ func WithFleet(n int) Option {
 	return func(o *options) { o.fleet = n }
 }
 
+// WithRemoteFleet shards the world over one worker per address and
+// routes each shard's scatter-gather requests to the arachnet-worker
+// process at that address (host:port) over HTTP — true multi-process
+// distributed execution behind the same fleet seam. Workers must have
+// been started with the same -world/-seed derivation and
+// -shards=len(addrs); the registration handshake verifies it and
+// rejects mismatched workers. Every shard keeps an in-process twin
+// worker: a dead, slow or rejected remote fails over to it, so
+// results are byte-identical to WithFleet(len(addrs)) regardless of
+// which workers are reachable. Mutually exclusive with WithFleet.
+func WithRemoteFleet(addrs ...string) Option {
+	return func(o *options) { o.fleetRemote = addrs }
+}
+
 // New assembles a ready-to-ask ArachNet system. Defaults: full-size
 // world with seed 42, builtin registry. Serving behavior — expert
 // review, curation, timeouts, parallelism — is chosen per call with
@@ -412,8 +432,17 @@ func New(opts ...Option) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	if o.fleet > 0 {
+	switch {
+	case o.fleet > 0 && len(o.fleetRemote) > 0:
+		return nil, fmt.Errorf("arachnet: WithFleet and WithRemoteFleet are mutually exclusive")
+	case o.fleet > 0:
 		f, err := fleet.New(env.World, fleet.Config{Workers: o.fleet})
+		if err != nil {
+			return nil, fmt.Errorf("arachnet: %w", err)
+		}
+		sys.SetFleet(f)
+	case len(o.fleetRemote) > 0:
+		f, err := fleetwire.NewFleet(env.World, o.fleetRemote, fleetwire.Config{})
 		if err != nil {
 			return nil, fmt.Errorf("arachnet: %w", err)
 		}

@@ -15,6 +15,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"sort"
@@ -22,6 +24,8 @@ import (
 	"time"
 
 	"arachnet"
+	"arachnet/internal/core"
+	"arachnet/internal/fleetwire"
 	"arachnet/internal/netsim"
 )
 
@@ -56,10 +60,11 @@ func main() {
 		servingOnly = flag.Bool("serving", false, "print only the async serving throughput experiment")
 		cacheOnly   = flag.Bool("cache", false, "print only the memoized serving experiment (cold vs warm latencies + hit ratios)")
 		world       = flag.String("world", "full", "world size for -cache: full|small")
-		jsonPath    = flag.String("json", "", "with -cache or -fleetbench, also write the results as JSON to this path (e.g. BENCH_5.json, BENCH_8.json)")
+		jsonPath    = flag.String("json", "", "with -cache, -fleetbench or -wirebench, also write the results as JSON to this path (e.g. BENCH_5.json, BENCH_8.json, BENCH_9.json)")
 		seed        = flag.Uint64("seed", 42, "world seed")
 		fleetN      = flag.Int("fleet", 0, "shard the world over N fleet workers for every experiment (0 = inline execution)")
 		fleetBench  = flag.Bool("fleetbench", false, "print only the fleet-scaling experiment (fleet 0/1/4 cold+warm latency and allocations, plus a ≥10x world)")
+		wireBench   = flag.Bool("wirebench", false, "print only the remote-fleet experiment (real HTTP workers on loopback vs the in-process fleet, cold+warm)")
 	)
 	flag.Parse()
 	fleetOpt := func(opts []arachnet.Option) []arachnet.Option {
@@ -79,6 +84,10 @@ func main() {
 	}
 	if *fleetBench {
 		fleetExperiment(*seed, *world, *jsonPath)
+		return
+	}
+	if *wireBench {
+		wireExperiment(*seed, *world, *jsonPath)
 		return
 	}
 
@@ -482,6 +491,132 @@ func fleetExperiment(seed uint64, world, jsonPath string) {
 		bw.Scale, bw.Routers, bw.NodeRatio, bw.Links, bw.GenerateMs, bw.PartitionMs, bw.EnvMs)
 	fmt.Printf("big world fleet-4 ask: cold %.1fms warm %.1fms (%d scattered steps)\n",
 		bw.ColdMs, bw.WarmMs, bw.Scattered)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// wireConfigResult is one execution mode's measurement in the
+// remote-fleet experiment.
+type wireConfigResult struct {
+	Mode       string  `json:"mode"` // "in-process" | "remote"
+	ColdMs     float64 `json:"cold_ms"`
+	WarmMs     float64 `json:"warm_ms"` // median of the warm rounds
+	Scattered  uint64  `json:"scattered"`
+	Requests   uint64  `json:"wire_requests,omitempty"`
+	Retries    uint64  `json:"wire_retries,omitempty"`
+	Failovers  uint64  `json:"wire_failovers,omitempty"`
+	BytesSent  uint64  `json:"wire_bytes_sent,omitempty"`
+	BytesRecv  uint64  `json:"wire_bytes_received,omitempty"`
+	Registered int     `json:"wire_registered,omitempty"`
+}
+
+// wireReport is the BENCH_9.json schema: the multi-process point of
+// the perf trajectory — the same CS1 fan-out query served by the
+// in-process fleet and by real arachnet-worker HTTP servers on
+// loopback (PR 9).
+type wireReport struct {
+	Benchmark  string             `json:"benchmark"`
+	PR         int                `json:"pr"`
+	World      string             `json:"world"`
+	Seed       uint64             `json:"seed"`
+	Query      string             `json:"query"`
+	Workers    int                `json:"workers"`
+	WarmRounds int                `json:"warm_rounds"`
+	BootMs     float64            `json:"worker_boot_ms"` // spawn all workers (world gen included)
+	Configs    []wireConfigResult `json:"configs"`
+}
+
+// wireExperiment measures what the wire costs: the CS1 fan-out query
+// cold and warm through an in-process fleet of two, then through two
+// real worker HTTP servers on loopback — same shards, same codec the
+// multi-process deployment uses, per-request wire counters recorded.
+func wireExperiment(seed uint64, world, jsonPath string) {
+	header("Remote fleet wire (HTTP workers on loopback vs in-process)")
+	const warmRounds = 5
+	const workers = 2
+	query := queries[1]
+	rep := wireReport{
+		Benchmark: "remote-fleet-wire", PR: 9,
+		World: world, Seed: seed, Query: query,
+		Workers: workers, WarmRounds: warmRounds,
+	}
+
+	worldOpt := arachnet.WithSeed(seed)
+	worldCfg := netsim.DefaultConfig(seed)
+	if world == "small" {
+		worldOpt = arachnet.WithSmallWorld(seed)
+		worldCfg = netsim.SmallConfig(seed)
+	}
+
+	measure := func(sys *arachnet.System, mode string) wireConfigResult {
+		cold := timeAsk(sys, query)
+		warms := make([]time.Duration, warmRounds)
+		for r := range warms {
+			warms[r] = timeAsk(sys, query)
+		}
+		sort.Slice(warms, func(i, j int) bool { return warms[i] < warms[j] })
+		res := wireConfigResult{Mode: mode, ColdMs: ms(cold), WarmMs: ms(warms[warmRounds/2])}
+		if fs := sys.Fleet(); fs != nil {
+			st := fs.Stats()
+			res.Scattered = st.Scattered
+			if st.Wire != nil {
+				res.Requests, res.Retries, res.Failovers = st.Wire.Requests, st.Wire.Retries, st.Wire.Failovers
+				res.BytesSent, res.BytesRecv = st.Wire.BytesSent, st.Wire.BytesReceived
+				res.Registered = st.Wire.Registered
+			}
+			fs.Close()
+		}
+		return res
+	}
+
+	rep.Configs = append(rep.Configs, measure(cs1System(worldOpt, arachnet.WithFleet(workers)), "in-process"))
+
+	// Real workers: each its own environment over the same world config,
+	// serving its shard on a loopback listener — the exact server
+	// cmd/arachnet-worker runs, minus the process boundary.
+	t0 := time.Now()
+	addrs := make([]string, workers)
+	stops := make([]func(), workers)
+	for i := 0; i < workers; i++ {
+		env, err := core.NewEnvironment(worldCfg)
+		if err != nil {
+			fatal(err)
+		}
+		srv, err := fleetwire.NewServer(env, core.BuiltinRegistry(), workers, i, 512)
+		if err != nil {
+			fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		addrs[i] = ln.Addr().String()
+		stops[i] = func() { hs.Close() }
+	}
+	rep.BootMs = ms(time.Since(t0))
+
+	rep.Configs = append(rep.Configs, measure(cs1System(worldOpt, arachnet.WithRemoteFleet(addrs...)), "remote"))
+	for _, stop := range stops {
+		stop()
+	}
+
+	fmt.Printf("%-12s %12s %12s %10s %10s %10s\n", "mode", "cold", "warm(med)", "scattered", "requests", "bytes out")
+	for _, c := range rep.Configs {
+		fmt.Printf("%-12s %10.1fms %10.1fms %10d %10d %10d\n",
+			c.Mode, c.ColdMs, c.WarmMs, c.Scattered, c.Requests, c.BytesSent)
+	}
+	fmt.Printf("worker boot (world gen + shard + listen) took %.0fms for %d workers\n", rep.BootMs, workers)
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

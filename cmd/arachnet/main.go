@@ -43,7 +43,8 @@ func main() {
 		noCache     = flag.Bool("no-cache", false, "bypass plan and step memoization for this query")
 		cacheStats  = flag.Bool("cache-stats", false, "print plan/step cache statistics to stderr after the run")
 		fleetN      = flag.Int("fleet", 0, "shard the world over N fleet workers; pure fan-out steps scatter-gather across them (0 = run everything inline)")
-	monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
+		fleetRemote = flag.String("fleet-remote", "", "comma-separated arachnet-worker addresses (host:port,...), one per shard; mutually exclusive with -fleet")
+		monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
 		injectEvery = flag.Duration("inject-every", 0, "with -monitor: inject a fresh cable-failure scenario on this interval (0 = never)")
 		injectCount = flag.Int("inject-count", 3, "with -monitor and -inject-every: stop injecting after this many scenarios (0 = no limit)")
 	)
@@ -79,6 +80,15 @@ func main() {
 	}
 	if *fleetN > 0 {
 		opts = append(opts, arachnet.WithFleet(*fleetN))
+	}
+	if *fleetRemote != "" {
+		var addrs []string
+		for _, a := range strings.Split(*fleetRemote, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		opts = append(opts, arachnet.WithRemoteFleet(addrs...))
 	}
 
 	sys, err := arachnet.New(opts...)
@@ -211,6 +221,12 @@ func main() {
 			for _, sh := range st.Fleet.Shards {
 				fmt.Fprintf(os.Stderr, "  worker %d: %d countries, %d routers, %d links; %d executed, %d cache hits, %d entries\n",
 					sh.Worker, sh.Countries, sh.Routers, sh.Links, sh.Executed, sh.CacheHits, sh.CacheEntries)
+			}
+			if wire := st.Fleet.Wire; wire != nil {
+				fmt.Fprintf(os.Stderr, "  wire: %d remotes (%d registered, %d rejected); %d requests, %d retries, %d failovers, %d health failures, %dB sent / %dB received\n",
+					wire.Remotes, wire.Registered, wire.Rejected,
+					wire.Requests, wire.Retries, wire.Failovers, wire.HealthFailures,
+					wire.BytesSent, wire.BytesReceived)
 			}
 		}
 	}

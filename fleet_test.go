@@ -136,6 +136,51 @@ func TestFleetMatchesInline(t *testing.T) {
 	}
 }
 
+// TestFleetFullRegistryMatchesInline exercises the full-registry CS1
+// path — planned through the aggregate step xaminer.impact_from_links,
+// which has its own scatter spec — and checks the scattered result
+// against inline execution.
+func TestFleetFullRegistryMatchesInline(t *testing.T) {
+	const seed, query = 42, "Identify the impact at a country level due to SeaMeWe-5 cable failure"
+	build := func(n int) *arachnet.System {
+		opts := []arachnet.Option{arachnet.WithSmallWorld(seed)}
+		if n > 0 {
+			opts = append(opts, arachnet.WithFleet(n))
+		}
+		sys, err := arachnet.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := sys.Fleet(); f != nil {
+			t.Cleanup(f.Close)
+		}
+		return sys
+	}
+	sys0, sys4 := build(0), build(4)
+	rep0, err := sys0.Ask(ctx, query, arachnet.AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := sys4.Ask(ctx, query, arachnet.AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sys4.Fleet().Stats(); st.Scattered == 0 {
+		t.Fatalf("full-registry plan scattered nothing: %+v", st)
+	}
+	out0, err := json.Marshal(rep0.Result.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4, err := json.Marshal(rep4.Result.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out0) != string(out4) {
+		t.Errorf("inline and fleet-4 full-registry outputs differ:\ninline: %s\nfleet:  %s", out0, out4)
+	}
+}
+
 // TestFleetConcurrentAsks hammers a 4-shard fleet with concurrent
 // asks while the environment epoch advances underneath (scenario
 // injection mid-run) — the -race job's fleet workout. Results are

@@ -7,6 +7,7 @@ import (
 
 	"arachnet/internal/fleet"
 	"arachnet/internal/netsim"
+	"arachnet/internal/xaminer"
 )
 
 // installScatterSpecs teaches a fleet how the builtin catalog's
@@ -63,6 +64,103 @@ func installScatterSpecs(f *fleet.Fleet) {
 			}
 			sort.Slice(merged, func(i, j int) bool { return merged[i].Less(merged[j]) })
 			return map[string]any{"ips": merged}, nil
+		},
+	})
+
+	// xaminer.impact_from_links: the full-registry CS1 path. Links are
+	// owned by the shard of their A-endpoint country; each shard runs
+	// the Xaminer embedding over its own links, and the gather re-adds
+	// the per-country loss counts. Three of the four metrics are plain
+	// weighted sums of per-link contributions (weight 1.0, so sums are
+	// exact) and add across shards; ASesHit counts *distinct* (country,
+	// AS) pairs, which is not additive — a link in shard 1 and a link
+	// in shard 2 can hit the same AS — so the merge recomputes it from
+	// the original link set. Per-country totals come from any partial
+	// (every worker computed them over the identical full world), and
+	// scores are recomputed with xaminer.ScoreOf — the same arithmetic,
+	// in the same order, as the unsharded path.
+	f.SetScatter("xaminer.impact_from_links", fleet.Scatter{
+		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+			links, ok := in["links"].([]netsim.LinkID)
+			if !ok {
+				return nil, false
+			}
+			parts := map[int]map[string]any{}
+			for _, id := range links {
+				s := p.ShardOfLink(id)
+				if s < 0 {
+					continue // unknown link: the capability skips it too
+				}
+				part := parts[s]
+				if part == nil {
+					part = map[string]any{"links": []netsim.LinkID(nil)}
+					parts[s] = part
+				}
+				part["links"] = append(part["links"].([]netsim.LinkID), id)
+			}
+			return parts, true
+		},
+		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+			links, ok := orig["links"].([]netsim.LinkID)
+			if !ok {
+				return nil, fmt.Errorf("original links input is %T", orig["links"])
+			}
+			byCountry := map[string]xaminer.CountryImpact{}
+			for shard, out := range parts {
+				rep, ok := out["report"].(*xaminer.ImpactReport)
+				if !ok {
+					return nil, fmt.Errorf("shard %d produced %T for report", shard, out["report"])
+				}
+				for _, ci := range rep.Countries {
+					cur, seen := byCountry[ci.Country]
+					if !seen {
+						// Totals are world-derived and identical on
+						// every worker; take them once.
+						cur = xaminer.CountryImpact{
+							Country:    ci.Country,
+							LinksTotal: ci.LinksTotal, IPsTotal: ci.IPsTotal,
+							ASesTotal: ci.ASesTotal, ASLinksTot: ci.ASLinksTot,
+						}
+					}
+					cur.LinksLost += ci.LinksLost
+					cur.IPsLost += ci.IPsLost
+					cur.ASLinksLost += ci.ASLinksLost
+					byCountry[ci.Country] = cur
+				}
+			}
+			// Distinct (country, AS) hits recomputed over the failed
+			// link set — the one metric shards cannot sum.
+			w := p.World()
+			asesHit := map[string]map[netsim.ASN]bool{}
+			markAS := func(cc string, asn netsim.ASN) {
+				if asesHit[cc] == nil {
+					asesHit[cc] = map[netsim.ASN]bool{}
+				}
+				asesHit[cc][asn] = true
+			}
+			failed := linkSet(links)
+			for id := range failed {
+				l, ok := w.LinkByID(id)
+				if !ok {
+					continue
+				}
+				ca, cb := w.LinkEndpoints(l)
+				markAS(ca, l.ASLinkAB[0])
+				markAS(cb, l.ASLinkAB[1])
+			}
+			rep := &xaminer.ImpactReport{Scenario: "xaminer", FailedLinks: len(failed)}
+			for cc, ci := range byCountry {
+				ci.ASesHit = float64(len(asesHit[cc]))
+				ci.Score = xaminer.ScoreOf(ci)
+				rep.Countries = append(rep.Countries, ci)
+			}
+			sort.Slice(rep.Countries, func(i, j int) bool {
+				if rep.Countries[i].Score != rep.Countries[j].Score {
+					return rep.Countries[i].Score > rep.Countries[j].Score
+				}
+				return rep.Countries[i].Country < rep.Countries[j].Country
+			})
+			return map[string]any{"report": rep}, nil
 		},
 	})
 

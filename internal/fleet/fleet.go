@@ -235,6 +235,39 @@ type ShardStats struct {
 	CacheEntries int    `json:"cache_entries"`
 }
 
+// WireStats counts remote-transport activity: what a network transport
+// under the fleet did on the coordinator's behalf. The in-process
+// transport reports none; a wire transport (internal/fleetwire)
+// implements WireStatser and its numbers surface through Stats.Wire —
+// and from there through core.CacheStats.Fleet and /v1/stats.
+type WireStats struct {
+	// Remotes is the configured remote worker count; Registered of
+	// them passed the handshake and are currently usable, Rejected
+	// failed it permanently (shard fingerprint or registry generation
+	// mismatch).
+	Remotes    int `json:"remotes"`
+	Registered int `json:"registered"`
+	Rejected   int `json:"rejected"`
+	// Requests counts requests answered over the wire; Retries counts
+	// re-sent attempts after transient failures; Failovers counts
+	// requests that fell back to the in-process worker after the
+	// remote was unusable or exhausted its retries.
+	Requests  uint64 `json:"requests"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	// HealthFailures counts failed health probes.
+	HealthFailures uint64 `json:"health_failures"`
+	// BytesSent/BytesReceived count codec payload bytes on the wire.
+	BytesSent     uint64 `json:"bytes_sent"`
+	BytesReceived uint64 `json:"bytes_received"`
+}
+
+// WireStatser is implemented by transports that move requests over a
+// network; Fleet.Stats probes for it.
+type WireStatser interface {
+	WireStats() WireStats
+}
+
 // Stats is a point-in-time snapshot of fleet activity.
 type Stats struct {
 	Workers    int          `json:"workers"`
@@ -242,6 +275,9 @@ type Stats struct {
 	ShardLocal uint64       `json:"shard_local"`
 	Declined   uint64       `json:"declined"`
 	Shards     []ShardStats `json:"shards"`
+	// Wire is present when the fleet's transport moves requests over a
+	// network (see WireStatser).
+	Wire *WireStats `json:"wire,omitempty"`
 }
 
 // Stats snapshots dispatch counters and per-worker shard inventory.
@@ -255,6 +291,10 @@ func (f *Fleet) Stats() Stats {
 	}
 	for i, w := range f.workers {
 		st.Shards[i] = w.stats()
+	}
+	if ws, ok := f.transport.(WireStatser); ok {
+		w := ws.WireStats()
+		st.Wire = &w
 	}
 	return st
 }

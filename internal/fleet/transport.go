@@ -11,18 +11,28 @@ import (
 
 // Request is one unit of work sent to a worker: execute a capability
 // over a shard-local slice of a step's input.
+//
+// Serialization boundary: exactly three fields cross a process
+// boundary — Cap (the capability name, resolved against the worker's
+// own registry replica), In (the shard-local input map, value-encoded
+// by the transport's codec), and Key (an opaque cache key the worker
+// uses verbatim). Capability and Env are in-process-only fast paths: a
+// remote transport must drop them on the wire, and the receiving
+// worker re-resolves Cap and substitutes its own environment. A worker
+// that cannot resolve Cap or decode In must answer with a typed error,
+// never a panic (see internal/fleetwire's wire errors).
 type Request struct {
-	// Cap names the capability. Remote transports resolve it against
-	// the worker's own registry replica.
+	// Cap names the capability; it is the wire identity of the work.
 	Cap string
-	// Capability is the in-process fast path for Cap; a remote
-	// transport must not rely on it surviving serialization.
+	// Capability is the in-process fast path for Cap. It does not
+	// cross the wire; remote workers resolve Cap themselves.
 	Capability *registry.Capability
-	// In is the shard-local input map produced by Scatter.Split.
+	// In is the shard-local input map produced by Scatter.Split. Its
+	// values must survive the transport codec's round-trip.
 	In map[string]any
-	// Env is the execution environment handed to the capability. In
-	// process it is shared; a remote worker substitutes its own shard
-	// environment.
+	// Env is the execution environment handed to the capability. It
+	// does not cross the wire; a remote worker substitutes its own
+	// environment (identical world by construction).
 	Env any
 	// Key caches the partial result in the worker's local store; ""
 	// disables caching for this request.
@@ -105,7 +115,7 @@ func (t *localTransport) serve(w *Worker, ch chan envelope) {
 		case <-t.done:
 			return
 		case env := <-ch:
-			resp, err := w.execute(env.ctx, env.req)
+			resp, err := w.Execute(env.ctx, env.req)
 			env.reply <- result{resp: resp, err: err}
 		}
 	}

@@ -32,6 +32,15 @@ type workerEntry struct {
 	out map[string]any
 }
 
+// NewWorker builds a standalone worker over one shard with a local
+// step cache of cacheEntries results (<= 0 disables caching). The
+// in-process fleet builds its workers itself; this constructor is for
+// remote worker processes (cmd/arachnet-worker) that own a single
+// shard behind a network transport.
+func NewWorker(index int, shard netsim.Shard, cacheEntries int) *Worker {
+	return newWorker(index, shard, cacheEntries)
+}
+
 func newWorker(index int, shard netsim.Shard, cacheEntries int) *Worker {
 	w := &Worker{index: index, shard: shard, cacheCap: cacheEntries}
 	if cacheEntries > 0 {
@@ -47,9 +56,13 @@ func (w *Worker) Index() int { return w.index }
 // Shard returns the worker's shard inventory.
 func (w *Worker) Shard() netsim.Shard { return w.shard }
 
-// execute runs one request: serve from the local cache when keyed,
+// Execute runs one request: serve from the local cache when keyed,
 // otherwise invoke the capability and remember the partial result.
-func (w *Worker) execute(ctx context.Context, req Request) (Response, error) {
+// The capability pointer must already be resolved (req.Capability);
+// transports that received the request over a wire resolve req.Cap
+// against their own registry first. Panics are contained and returned
+// as errors.
+func (w *Worker) Execute(ctx context.Context, req Request) (Response, error) {
 	if req.Key != "" {
 		if out, ok := w.cacheGet(req.Key); ok {
 			w.cacheHits.Add(1)
@@ -111,6 +124,9 @@ func (w *Worker) cachePut(key string, out map[string]any) {
 		delete(w.cacheByKey, el.Value.(*workerEntry).key)
 	}
 }
+
+// Stats snapshots the worker's shard inventory and counters.
+func (w *Worker) Stats() ShardStats { return w.stats() }
 
 func (w *Worker) stats() ShardStats {
 	w.cacheMu.Lock()

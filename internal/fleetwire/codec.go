@@ -1,0 +1,157 @@
+package fleetwire
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"reflect"
+	"sort"
+
+	"arachnet/internal/bgp"
+	"arachnet/internal/core"
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+	"arachnet/internal/topo"
+	"arachnet/internal/traceroute"
+	"arachnet/internal/xaminer"
+)
+
+// The wire codec: step-input and step-output values are Go values of
+// concrete catalog types (see internal/core's capability ports), and
+// the in-process transport passes them by reference. Crossing a
+// process boundary needs the exact type back on the far side — a bare
+// json.Unmarshal into interface{} would yield map[string]interface{}
+// soup — so every value travels as a tagged envelope:
+//
+//	{"type": "[]netsim.LinkID", "value": [12, 40, 77]}
+//
+// and both sides share a closed registry of tag ↔ concrete type
+// decoders. Every type is chosen to round-trip exactly: all fields
+// exported, times in UTC RFC3339-nano, netip values via MarshalText,
+// integer-keyed maps via Go's JSON map-key encoding. The codec
+// round-trip property test (codec_test.go) enforces value → JSON →
+// value equality for every registered type.
+
+// wireValue is one typed value envelope.
+type wireValue struct {
+	Type  string          `json:"type"`
+	Value json.RawMessage `json:"value"`
+}
+
+var (
+	decoders = map[string]func(json.RawMessage) (any, error){}
+	tagOf    = map[reflect.Type]string{}
+)
+
+// register adds one concrete type to the codec under a stable tag.
+func register[T any](tag string) {
+	t := reflect.TypeOf((*T)(nil)).Elem()
+	if _, dup := decoders[tag]; dup {
+		panic(fmt.Sprintf("fleetwire: duplicate codec tag %q", tag))
+	}
+	if prev, dup := tagOf[t]; dup {
+		panic(fmt.Sprintf("fleetwire: type %v already registered as %q", t, prev))
+	}
+	tagOf[t] = tag
+	decoders[tag] = func(raw json.RawMessage) (any, error) {
+		var v T
+		if err := json.Unmarshal(raw, &v); err != nil {
+			return nil, fmt.Errorf("fleetwire: decode %s: %w", tag, err)
+		}
+		return v, nil
+	}
+}
+
+func init() {
+	// Scalars and generic collections (planner literals, adapters).
+	register[string]("string")
+	register[bool]("bool")
+	register[int]("int")
+	register[float64]("float64")
+	register[[]string]("[]string")
+
+	// One tag per concrete step-input/-output type in the builtin
+	// catalog (internal/core/catalog.go, catalog2.go). Growing the
+	// catalog with a new port type means registering it here — the
+	// codec test fails a scatter-able capability whose type is missing.
+	register[nautilus.CableID]("nautilus.CableID")
+	register[[]nautilus.CableID]("[]nautilus.CableID")
+	register[[]netsim.LinkID]("[]netsim.LinkID")
+	register[[]netip.Addr]("[]netip.Addr")
+	register[[]core.GeoRow]("[]core.GeoRow")
+	register[*xaminer.ImpactReport]("*xaminer.ImpactReport")
+	register[[]xaminer.Event]("[]xaminer.Event")
+	register[[]xaminer.EventImpact]("[]xaminer.EventImpact")
+	register[xaminer.GlobalImpact]("xaminer.GlobalImpact")
+	register[[]bgp.Message]("[]bgp.Message")
+	register[[]bgp.Burst]("[]bgp.Burst")
+	register[*traceroute.Archive]("*traceroute.Archive")
+	register[core.LatencyFinding]("core.LatencyFinding")
+	register[core.CascadeBundle]("core.CascadeBundle")
+	register[topo.StressResult]("topo.StressResult")
+	register[[]core.CableSuspect]("[]core.CableSuspect")
+	register[core.Verdict]("core.Verdict")
+	register[*core.Timeline]("*core.Timeline")
+}
+
+// codecTags returns every registered tag, sorted (for tests and
+// diagnostics).
+func codecTags() []string {
+	out := make([]string, 0, len(decoders))
+	for tag := range decoders {
+		out = append(out, tag)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// encodeValue wraps one Go value in its tagged envelope.
+func encodeValue(v any) (wireValue, error) {
+	if v == nil {
+		return wireValue{}, fmt.Errorf("fleetwire: cannot encode nil value")
+	}
+	tag, ok := tagOf[reflect.TypeOf(v)]
+	if !ok {
+		return wireValue{}, fmt.Errorf("fleetwire: no codec for %T", v)
+	}
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return wireValue{}, fmt.Errorf("fleetwire: encode %s: %w", tag, err)
+	}
+	return wireValue{Type: tag, Value: raw}, nil
+}
+
+// decodeValue restores the concrete Go value from its envelope.
+func decodeValue(wv wireValue) (any, error) {
+	dec, ok := decoders[wv.Type]
+	if !ok {
+		return nil, fmt.Errorf("fleetwire: unknown codec tag %q", wv.Type)
+	}
+	return dec(wv.Value)
+}
+
+// encodeMap encodes a step input or output map.
+func encodeMap(m map[string]any) (map[string]wireValue, error) {
+	out := make(map[string]wireValue, len(m))
+	for k, v := range m {
+		wv, err := encodeValue(v)
+		if err != nil {
+			return nil, fmt.Errorf("%w (key %q)", err, k)
+		}
+		out[k] = wv
+	}
+	return out, nil
+}
+
+// decodeMap restores a step input or output map.
+func decodeMap(m map[string]wireValue) (map[string]any, error) {
+	out := make(map[string]any, len(m))
+	for k, wv := range m {
+		v, err := decodeValue(wv)
+		if err != nil {
+			return nil, fmt.Errorf("%w (key %q)", err, k)
+		}
+		out[k] = v
+	}
+	return out, nil
+}

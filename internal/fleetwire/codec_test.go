@@ -1,0 +1,217 @@
+package fleetwire
+
+import (
+	"encoding/json"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"arachnet/internal/bgp"
+	"arachnet/internal/core"
+	"arachnet/internal/geo"
+	"arachnet/internal/nautilus"
+	"arachnet/internal/netsim"
+	"arachnet/internal/topo"
+	"arachnet/internal/traceroute"
+	"arachnet/internal/xaminer"
+)
+
+// codecSamples holds one representative, fully-populated value per
+// registered codec tag. TestCodecRoundTrip fails if a tag has no
+// sample, so growing the codec forces growing this table.
+func codecSamples() map[string]any {
+	at := time.Date(2026, 1, 2, 3, 4, 5, 123456789, time.UTC)
+	ci := xaminer.CountryImpact{
+		Country: "EG", LinksLost: 3.5, LinksTotal: 12, IPsLost: 140.25,
+		IPsTotal: 800, ASesHit: 4, ASesTotal: 9, ASLinksLost: 2.5,
+		ASLinksTot: 7, Score: 0.3125,
+	}
+	event := xaminer.Event{
+		Name: "tohoku-offshore", Type: xaminer.Earthquake,
+		Epicenter: geo.Coord{Lat: 38.3, Lng: 142.4}, RadiusKm: 500, Severity: 9.0,
+	}
+	return map[string]any{
+		"string":   "SeaMeWe-5",
+		"bool":     true,
+		"int":      42,
+		"float64":  0.1,
+		"[]string": []string{"alpha", "beta"},
+
+		"nautilus.CableID":   nautilus.CableID("SeaMeWe-5"),
+		"[]nautilus.CableID": []nautilus.CableID{"SeaMeWe-5", "AAE-1"},
+		"[]netsim.LinkID":    []netsim.LinkID{3, 77, 1024},
+		"[]netip.Addr": []netip.Addr{
+			netip.MustParseAddr("10.1.2.3"),
+			netip.MustParseAddr("2001:db8::17"),
+		},
+		"[]core.GeoRow": []core.GeoRow{
+			{Addr: netip.MustParseAddr("10.1.2.3"), Country: "EG"},
+			{Addr: netip.MustParseAddr("10.9.8.7"), Country: "IN"},
+		},
+		"*xaminer.ImpactReport": &xaminer.ImpactReport{
+			Scenario: "xaminer", FailedLinks: 9,
+			Countries:           []xaminer.CountryImpact{ci},
+			ReachabilityLossPct: 12.5,
+		},
+		"[]xaminer.Event": []xaminer.Event{event},
+		"[]xaminer.EventImpact": []xaminer.EventImpact{{
+			Event: event, FailProb: 0.1,
+			RoutersAtRisk:     []netsim.RouterID{5, 9},
+			LinksAtRisk:       []netsim.LinkID{11, 12},
+			CablesAtRisk:      []nautilus.CableID{"APG"},
+			ExpectedLinksLost: 1.2,
+			Countries:         []xaminer.CountryImpact{ci},
+		}},
+		"xaminer.GlobalImpact": xaminer.GlobalImpact{
+			Events: []string{"tohoku-offshore"}, ExpectedLinksLost: 4.5,
+			Countries: []xaminer.CountryImpact{ci},
+		},
+		"[]bgp.Message": []bgp.Message{{
+			Time: at, Collector: 64500, Type: bgp.Withdraw,
+			Prefix: netip.MustParsePrefix("10.1.0.0/16"),
+			Path:   []netsim.ASN{64500, 64501},
+		}},
+		"[]bgp.Burst": []bgp.Burst{{
+			Start: at, Duration: 5 * time.Minute, Messages: 120,
+			Withdrawals: 90, Score: 6.5,
+			TopPrefixes: []string{"10.1.0.0/16"}, WithdrawHeavy: true,
+		}},
+		"*traceroute.Archive": &traceroute.Archive{
+			Measurements: []traceroute.Measurement{{
+				Probe: "eu-probe-1", Time: at, RTTms: 187.5, Reached: true,
+				HopASNs: []netsim.ASN{64500, 64501},
+			}},
+		},
+		"core.LatencyFinding": core.LatencyFinding{
+			Detected: true, ShiftAt: at, Probes: []string{"eu-probe-1"},
+			MeanBefore: 80, MeanAfter: 190, DeltaMs: 110, PValue: 0.001,
+			Confidence: 0.9, LostProbes: []string{"eu-probe-2"},
+		},
+		"core.CascadeBundle": core.CascadeBundle{
+			Cable: topo.CableCascade{
+				Rounds:     [][]nautilus.CableID{{"SeaMeWe-5"}, {"AAE-1"}},
+				Failed:     []nautilus.CableID{"AAE-1", "SeaMeWe-5"},
+				FinalLoad:  map[nautilus.CableID]float64{"APG": 17.5},
+				Overloaded: map[nautilus.CableID]float64{"AAE-1": 1.25},
+			},
+			Stress: topo.StressResult{
+				Stress:   map[netsim.ASN]float64{64500: 0.5},
+				Degraded: []netsim.ASN{64500},
+				Waves:    [][]netsim.ASN{{64500}},
+				Rounds:   1,
+			},
+		},
+		"topo.StressResult": topo.StressResult{
+			Stress:   map[netsim.ASN]float64{64500: 0.5, 64501: 0.25},
+			Degraded: []netsim.ASN{64500},
+			Waves:    [][]netsim.ASN{{64500}},
+			Rounds:   2,
+		},
+		"[]core.CableSuspect": []core.CableSuspect{{
+			Cable: "SeaMeWe-5", Score: 0.85, WithdrawalHits: 12,
+			CorridorMatch: true, LinksCarried: 40,
+		}},
+		"core.Verdict": core.Verdict{
+			CauseIsCableFailure: true, Cable: "SeaMeWe-5", Confidence: 0.87,
+			StatisticalEvidence: 0.9, InfraEvidence: 0.85, RoutingEvidence: 0.8,
+			Explanation: "withdrawal burst correlates with corridor cable",
+		},
+		"*core.Timeline": &core.Timeline{
+			Entries: []core.TimelineEntry{
+				{At: at, Layer: "cable", What: "SeaMeWe-5 failed"},
+			},
+			CablesFailed: 2, LinksLost: 40, ASesDegraded: 3,
+			CascadeRounds: 2, TopCountries: []string{"EG", "IN"},
+			BurstsDetected: 1,
+		},
+	}
+}
+
+// TestCodecRoundTrip is the codec's property test: for every
+// registered tag, value → envelope → JSON → envelope → value must be
+// exact (reflect.DeepEqual), because scattered execution must be
+// byte-identical to in-process execution.
+func TestCodecRoundTrip(t *testing.T) {
+	samples := codecSamples()
+	for _, tag := range codecTags() {
+		v, ok := samples[tag]
+		if !ok {
+			t.Errorf("codec tag %q has no sample — add one to codecSamples", tag)
+			continue
+		}
+		wv, err := encodeValue(v)
+		if err != nil {
+			t.Errorf("%s: encode: %v", tag, err)
+			continue
+		}
+		if wv.Type != tag {
+			t.Errorf("%s: encoded under tag %q", tag, wv.Type)
+		}
+		// Cross the wire for real: envelope → bytes → envelope.
+		data, err := json.Marshal(wv)
+		if err != nil {
+			t.Fatalf("%s: marshal envelope: %v", tag, err)
+		}
+		var back wireValue
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%s: unmarshal envelope: %v", tag, err)
+		}
+		got, err := decodeValue(back)
+		if err != nil {
+			t.Errorf("%s: decode: %v", tag, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, v) {
+			t.Errorf("%s: round trip drifted:\n got %#v\nwant %#v", tag, got, v)
+		}
+	}
+	for tag := range samples {
+		if _, ok := decoders[tag]; !ok {
+			t.Errorf("sample %q has no registered decoder", tag)
+		}
+	}
+}
+
+func TestCodecMapRoundTrip(t *testing.T) {
+	in := map[string]any{
+		"cable": nautilus.CableID("SeaMeWe-5"),
+		"links": []netsim.LinkID{1, 2, 3},
+		"count": 7,
+	}
+	enc, err := encodeMap(in)
+	if err != nil {
+		t.Fatalf("encodeMap: %v", err)
+	}
+	data, err := json.Marshal(enc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var mid map[string]wireValue
+	if err := json.Unmarshal(data, &mid); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	out, err := decodeMap(mid)
+	if err != nil {
+		t.Fatalf("decodeMap: %v", err)
+	}
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("map round trip drifted:\n got %#v\nwant %#v", out, in)
+	}
+}
+
+func TestCodecRejectsUnknown(t *testing.T) {
+	type mystery struct{ X int }
+	if _, err := encodeValue(mystery{1}); err == nil {
+		t.Fatal("encoding an unregistered type should fail")
+	}
+	if _, err := encodeValue(nil); err == nil {
+		t.Fatal("encoding nil should fail")
+	}
+	if _, err := decodeValue(wireValue{Type: "no.such.Type", Value: json.RawMessage(`1`)}); err == nil {
+		t.Fatal("decoding an unknown tag should fail")
+	}
+	if _, err := decodeValue(wireValue{Type: "int", Value: json.RawMessage(`"nope"`)}); err == nil {
+		t.Fatal("decoding mismatched JSON should fail")
+	}
+}

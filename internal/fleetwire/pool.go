@@ -1,0 +1,477 @@
+// Package fleetwire puts a real wire under the fleet's Transport
+// seam: an HTTP/JSON transport whose typed codec round-trips step
+// input and output values between OS processes, so the same
+// scatter-gather plans the in-process fleet runs (internal/fleet)
+// execute against remote worker processes (cmd/arachnet-worker) —
+// DIMES-style scale-out with reports byte-identical to in-process and
+// inline execution.
+//
+// # Topology
+//
+// A coordinator builds its fleet as usual (fleet.New partitions the
+// world, starts in-process workers) and wraps the transport with a
+// Pool via fleet.Config.WrapTransport. The Pool maps shard i to the
+// i-th remote address; shards beyond the address list stay on their
+// in-process worker. Each remote is a cmd/arachnet-worker process
+// that derived the same world from the same -world/-seed/-shards
+// flags, so shard contents agree by construction — and the
+// registration handshake (netsim.Partition.ShardFingerprint plus the
+// builtin-catalog registry generation) proves it before any request
+// is routed there.
+//
+// # Failure semantics
+//
+// Correctness never depends on a remote. Every Send falls back to the
+// in-process worker — which owns the identical shard — when the
+// remote is unregistered, rejected, unhealthy, or exhausts its
+// retries; the fallback result is exactly what the remote would have
+// produced, so a killed worker degrades an ask, never fails it.
+// Typed worker refusals (unknown capability, undecodable input) fail
+// over immediately without retrying; transport errors retry up to
+// Config.Retries times under Config.RequestTimeout each. A background
+// loop health-checks remotes every Config.HealthInterval, re-registers
+// the unhealthy, and permanently rejects handshake mismatches. All of
+// it is counted in fleet.WireStats, surfaced through Fleet.Stats,
+// core.CacheStats.Fleet and /v1/stats.
+package fleetwire
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arachnet/internal/core"
+	"arachnet/internal/fleet"
+	"arachnet/internal/netsim"
+)
+
+// NewFleet builds a fleet of len(addrs) workers whose transport
+// routes each shard to the remote worker at the matching address,
+// with in-process failover (see Pool). cfg.World is taken from world
+// and cfg.RegistryGeneration defaults to the builtin catalog's — the
+// one arachnet-worker serves.
+func NewFleet(world *netsim.World, addrs []string, cfg Config) (*fleet.Fleet, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("fleetwire: no remote worker addresses")
+	}
+	cfg.World = world
+	if cfg.RegistryGeneration == 0 {
+		cfg.RegistryGeneration = core.BuiltinRegistry().Generation()
+	}
+	var poolErr error
+	f, err := fleet.New(world, fleet.Config{
+		Workers: len(addrs),
+		WrapTransport: func(inner fleet.Transport) fleet.Transport {
+			p, err := NewPool(inner, addrs, cfg)
+			if err != nil {
+				poolErr = err
+				return inner
+			}
+			return p
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if poolErr != nil {
+		f.Close()
+		return nil, poolErr
+	}
+	return f, nil
+}
+
+// Config tunes a Pool.
+type Config struct {
+	// World is the coordinator's generated world; the Pool re-derives
+	// the partition from it to compute per-shard handshake
+	// fingerprints. Required.
+	World *netsim.World
+	// RegistryGeneration is the builtin-catalog generation the workers
+	// must be serving (core.BuiltinRegistry().Generation() of the
+	// coordinator's binary); a worker built from a different catalog
+	// version is rejected at registration.
+	RegistryGeneration uint64
+	// RequestTimeout bounds each execute attempt (default 15s).
+	RequestTimeout time.Duration
+	// Retries is how many times a transiently-failed request is
+	// re-sent before failing over (default 1).
+	Retries int
+	// HealthInterval paces the background health/re-registration loop
+	// (default 2s; negative disables the loop).
+	HealthInterval time.Duration
+	// Client overrides the HTTP client (tests).
+	Client *http.Client
+}
+
+// Remote registration states.
+const (
+	remoteUnregistered = iota // never handshaken; health loop keeps trying
+	remoteHealthy             // registered and answering
+	remoteUnhealthy           // registered once, now failing; probed for recovery
+	remoteRejected            // handshake mismatch; never used again
+)
+
+type remote struct {
+	index int
+	base  string // http://host:port
+
+	mu    sync.Mutex
+	state int
+}
+
+func (r *remote) getState() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+func (r *remote) setState(s int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state == remoteRejected {
+		return // rejection is permanent
+	}
+	r.state = s
+}
+
+// Pool is the coordinator side of the wire: a fleet.Transport that
+// routes shard requests to registered remote workers and falls back
+// to the wrapped in-process transport on any trouble.
+type Pool struct {
+	inner   fleet.Transport
+	cfg     Config
+	client  *http.Client
+	remotes []*remote // remotes[i] serves shard i; nil entries stay local
+	fps     []string  // per-shard handshake fingerprints
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	requests       atomic.Uint64
+	retries        atomic.Uint64
+	failovers      atomic.Uint64
+	healthFailures atomic.Uint64
+	bytesSent      atomic.Uint64
+	bytesReceived  atomic.Uint64
+}
+
+// NewPool wraps inner with remote routing: addrs[i] (host:port or a
+// full http URL) serves shard i. len(addrs) may be less than the
+// worker count — uncovered shards stay in-process — but not more.
+// Registration of every remote is attempted immediately; failures are
+// left to the health loop, so a Pool over dead workers still
+// constructs (and serves everything via inner).
+func NewPool(inner fleet.Transport, addrs []string, cfg Config) (*Pool, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("fleetwire: pool config needs the coordinator's world")
+	}
+	n := inner.Workers()
+	if len(addrs) > n {
+		return nil, fmt.Errorf("fleetwire: %d remote addresses for %d shards", len(addrs), n)
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 15 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.HealthInterval == 0 {
+		cfg.HealthInterval = 2 * time.Second
+	}
+	part, err := netsim.PartitionWorld(cfg.World, n)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pool{
+		inner:   inner,
+		cfg:     cfg,
+		client:  cfg.Client,
+		remotes: make([]*remote, n),
+		fps:     make([]string, n),
+		done:    make(chan struct{}),
+	}
+	if p.client == nil {
+		p.client = &http.Client{}
+	}
+	for i := range p.fps {
+		fp, err := part.ShardFingerprint(i)
+		if err != nil {
+			return nil, err
+		}
+		p.fps[i] = fp
+	}
+	for i, addr := range addrs {
+		base := addr
+		if !strings.Contains(base, "://") {
+			base = "http://" + base
+		}
+		p.remotes[i] = &remote{index: i, base: strings.TrimRight(base, "/")}
+	}
+	// First registration pass, bounded per remote; workers that are
+	// not up yet are picked up by the health loop.
+	for _, r := range p.remotes {
+		if r != nil {
+			p.register(r)
+		}
+	}
+	if cfg.HealthInterval > 0 {
+		p.wg.Add(1)
+		go p.healthLoop()
+	}
+	return p, nil
+}
+
+// handshakeFor builds the coordinator's expectation for shard i.
+func (p *Pool) handshakeFor(i int) handshake {
+	return handshake{
+		Index:              i,
+		Shards:             len(p.remotes),
+		ShardFingerprint:   p.fps[i],
+		RegistryGeneration: p.cfg.RegistryGeneration,
+	}
+}
+
+// register performs the /v1/register handshake. A mismatch rejects
+// the remote permanently; transport failure leaves it for the health
+// loop; success marks it healthy.
+func (p *Pool) register(r *remote) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	want := p.handshakeFor(r.index)
+	body, err := json.Marshal(want)
+	if err != nil {
+		return
+	}
+	status, respBody, err := p.post(ctx, r.base+"/v1/register", body)
+	if err != nil {
+		p.healthFailures.Add(1)
+		return
+	}
+	if status == httpStatus(CodeHandshakeMismatch) {
+		r.mu.Lock()
+		r.state = remoteRejected
+		r.mu.Unlock()
+		return
+	}
+	var got handshake
+	if status != http.StatusOK || json.Unmarshal(respBody, &got) != nil || !want.matches(got) {
+		// A worker that answers the endpoint but not the contract is
+		// as unusable as a mismatch.
+		r.mu.Lock()
+		r.state = remoteRejected
+		r.mu.Unlock()
+		return
+	}
+	r.setState(remoteHealthy)
+}
+
+// healthLoop probes healthy remotes and re-registers unhealthy or
+// never-registered ones until Close.
+func (p *Pool) healthLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-tick.C:
+		}
+		for _, r := range p.remotes {
+			if r == nil {
+				continue
+			}
+			switch r.getState() {
+			case remoteHealthy:
+				if !p.healthy(r) {
+					p.healthFailures.Add(1)
+					r.setState(remoteUnhealthy)
+				}
+			case remoteUnhealthy, remoteUnregistered:
+				p.register(r)
+			}
+		}
+	}
+}
+
+// healthy probes GET /healthz.
+func (p *Pool) healthy(r *remote) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), p.cfg.RequestTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// post sends one JSON body and returns status and response body.
+// Counts codec bytes both ways.
+func (p *Pool) post(ctx context.Context, url string, body []byte) (int, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	p.bytesSent.Add(uint64(len(body)))
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.bytesReceived.Add(uint64(len(respBody)))
+	return resp.StatusCode, respBody, nil
+}
+
+// Send implements fleet.Transport: encode, route to the shard's
+// remote with retry, and fail over to the in-process worker whenever
+// the remote cannot answer. The fallback owns the identical shard, so
+// the result is the same either way.
+func (p *Pool) Send(ctx context.Context, worker int, req fleet.Request) (fleet.Response, error) {
+	select {
+	case <-p.done:
+		return fleet.Response{}, fleet.ErrTransportClosed
+	default:
+	}
+	var r *remote
+	if worker >= 0 && worker < len(p.remotes) {
+		r = p.remotes[worker]
+	}
+	if r == nil {
+		// No remote configured for this shard: plain in-process
+		// execution, not a failover.
+		return p.inner.Send(ctx, worker, req)
+	}
+	if r.getState() != remoteHealthy {
+		p.failovers.Add(1)
+		return p.inner.Send(ctx, worker, req)
+	}
+	in, err := encodeMap(req.In)
+	if err != nil {
+		// Un-encodable inputs are a coordinator-side condition; the
+		// in-process worker takes the request by reference.
+		p.failovers.Add(1)
+		return p.inner.Send(ctx, worker, req)
+	}
+	body, err := json.Marshal(executeRequest{Cap: req.Cap, Key: req.Key, In: in})
+	if err != nil {
+		p.failovers.Add(1)
+		return p.inner.Send(ctx, worker, req)
+	}
+
+	attempts := p.cfg.Retries + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			p.retries.Add(1)
+		}
+		resp, retryable, err := p.sendOnce(ctx, r, body)
+		if err == nil {
+			p.requests.Add(1)
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			// The ask itself is dying; don't mask that with a failover.
+			return fleet.Response{}, ctx.Err()
+		}
+		if !retryable {
+			break
+		}
+	}
+	// Retries exhausted (or the worker refused): the remote is not
+	// serving this shard right now. Mark it for the health loop and
+	// degrade to the in-process worker.
+	r.setState(remoteUnhealthy)
+	p.failovers.Add(1)
+	return p.inner.Send(ctx, worker, req)
+}
+
+// sendOnce performs one execute attempt. retryable reports whether
+// the failure was transport-level (worth re-sending) as opposed to a
+// typed refusal by a live worker.
+func (p *Pool) sendOnce(ctx context.Context, r *remote, body []byte) (fleet.Response, bool, error) {
+	actx, cancel := context.WithTimeout(ctx, p.cfg.RequestTimeout)
+	defer cancel()
+	status, respBody, err := p.post(actx, r.base+"/v1/execute", body)
+	if err != nil {
+		return fleet.Response{}, true, err
+	}
+	if status != http.StatusOK {
+		var fail struct {
+			Error *wireError `json:"error"`
+		}
+		if json.Unmarshal(respBody, &fail) == nil && fail.Error != nil {
+			// A typed refusal: the worker is alive but cannot serve
+			// this request; retrying the same request is pointless.
+			return fleet.Response{}, false, fail.Error
+		}
+		return fleet.Response{}, true, fmt.Errorf("fleetwire: worker %d: HTTP %d", r.index, status)
+	}
+	var wr executeResponse
+	if err := json.Unmarshal(respBody, &wr); err != nil {
+		return fleet.Response{}, true, fmt.Errorf("fleetwire: worker %d: decode response: %w", r.index, err)
+	}
+	out, err := decodeMap(wr.Out)
+	if err != nil {
+		return fleet.Response{}, false, err
+	}
+	return fleet.Response{Out: out, CacheHit: wr.CacheHit}, false, nil
+}
+
+// Workers implements fleet.Transport.
+func (p *Pool) Workers() int { return p.inner.Workers() }
+
+// Close stops the health loop and closes the in-process transport.
+func (p *Pool) Close() error {
+	var err error
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.wg.Wait()
+		err = p.inner.Close()
+	})
+	return err
+}
+
+// WireStats implements fleet.WireStatser.
+func (p *Pool) WireStats() fleet.WireStats {
+	st := fleet.WireStats{
+		Requests:       p.requests.Load(),
+		Retries:        p.retries.Load(),
+		Failovers:      p.failovers.Load(),
+		HealthFailures: p.healthFailures.Load(),
+		BytesSent:      p.bytesSent.Load(),
+		BytesReceived:  p.bytesReceived.Load(),
+	}
+	for _, r := range p.remotes {
+		if r == nil {
+			continue
+		}
+		st.Remotes++
+		switch r.getState() {
+		case remoteHealthy:
+			st.Registered++
+		case remoteRejected:
+			st.Rejected++
+		}
+	}
+	return st
+}

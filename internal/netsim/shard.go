@@ -1,9 +1,12 @@
 package netsim
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 )
 
 // Shard is one partition of a World: a set of countries and the
@@ -147,3 +150,24 @@ func (p *Partition) ShardOfAddr(a netip.Addr) int {
 
 // World returns the world this partition was built from.
 func (p *Partition) World() *World { return p.world }
+
+// ShardFingerprint digests one shard's identity: the partition shape
+// (world totals, shard count) plus the shard's index, country set and
+// inventory. Two processes that derived their partitions from the same
+// (world config, shard count) produce equal fingerprints for the same
+// index — the handshake check a remote worker and its coordinator use
+// to prove their shard contents agree by construction. Any divergence
+// (different seed, world size, shard count, or assignment) changes the
+// digest.
+func (p *Partition) ShardFingerprint(index int) (string, error) {
+	if index < 0 || index >= len(p.Shards) {
+		return "", fmt.Errorf("netsim: shard index %d out of range [0,%d)", index, len(p.Shards))
+	}
+	sh := &p.Shards[index]
+	h := sha256.New()
+	fmt.Fprintf(h, "v1|n=%d|i=%d|worldRouters=%d|worldLinks=%d|worldASes=%d|",
+		p.N, sh.Index, len(p.world.Routers), len(p.world.IPLinks), len(p.world.ASes))
+	fmt.Fprintf(h, "cc=%s|routers=%d|links=%d",
+		strings.Join(sh.Countries, ","), sh.Routers, sh.Links)
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

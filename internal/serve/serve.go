@@ -42,6 +42,7 @@ import (
 
 	"arachnet/internal/core"
 	"arachnet/internal/fleet"
+	"arachnet/internal/fleetwire"
 	"arachnet/internal/registry"
 )
 
@@ -97,6 +98,12 @@ type Config struct {
 	// tenancy model. /v1/stats exposes each tenant's per-worker shard
 	// and cache counters.
 	Fleet int
+	// FleetRemote routes each tenant's fleet over the wire instead:
+	// one arachnet-worker address per shard (see internal/fleetwire).
+	// Takes precedence over Fleet. Each tenant keeps its own Pool —
+	// registration, health checks and failover counters are per
+	// tenant, matching the isolation the rest of the tier provides.
+	FleetRemote []string
 	// Tenants declares the tenant set; empty means one open tenant
 	// named "default".
 	Tenants []TenantConfig
@@ -195,7 +202,14 @@ func NewServer(cfg Config) (*Server, error) {
 		if err := sys.SetScheduler(s.sched, tc.Name); err != nil {
 			return nil, fmt.Errorf("serve: tenant %q: %w", tc.Name, err)
 		}
-		if cfg.Fleet > 0 {
+		switch {
+		case len(cfg.FleetRemote) > 0:
+			f, err := fleetwire.NewFleet(cfg.Env.World, cfg.FleetRemote, fleetwire.Config{})
+			if err != nil {
+				return nil, fmt.Errorf("serve: tenant %q remote fleet: %w", tc.Name, err)
+			}
+			sys.SetFleet(f)
+		case cfg.Fleet > 0:
 			f, err := fleet.New(cfg.Env.World, fleet.Config{Workers: cfg.Fleet})
 			if err != nil {
 				return nil, fmt.Errorf("serve: tenant %q fleet: %w", tc.Name, err)

@@ -44,6 +44,12 @@ type CountryImpact struct {
 	Score       float64 // normalized composite in [0,1]
 }
 
+// ScoreOf computes the normalized composite: the mean of the four
+// loss fractions (metrics with zero totals are skipped). Exported so
+// scatter-gather merges (internal/core's fleet specs) can recompute
+// scores with exactly the arithmetic the unsharded path uses.
+func ScoreOf(ci CountryImpact) float64 { return scoreOf(ci) }
+
 // scoreOf computes the normalized composite: the mean of the four
 // loss fractions (metrics with zero totals are skipped).
 func scoreOf(ci CountryImpact) float64 {
