@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -65,6 +66,7 @@ func main() {
 		fleetN      = flag.Int("fleet", 0, "shard the world over N fleet workers for every experiment (0 = inline execution)")
 		fleetBench  = flag.Bool("fleetbench", false, "print only the fleet-scaling experiment (fleet 0/1/4 cold+warm latency and allocations, plus a ≥10x world)")
 		wireBench   = flag.Bool("wirebench", false, "print only the remote-fleet experiment (real HTTP workers on loopback vs the in-process fleet, cold+warm)")
+		compBench   = flag.Bool("compiledbench", false, "print only the compiled-plan experiment (interpreted vs compiled warm path per case, plus snapshot save/load and cold-vs-snapshot restart)")
 	)
 	flag.Parse()
 	fleetOpt := func(opts []arachnet.Option) []arachnet.Option {
@@ -88,6 +90,10 @@ func main() {
 	}
 	if *wireBench {
 		wireExperiment(*seed, *world, *jsonPath)
+		return
+	}
+	if *compBench {
+		compiledExperiment(*seed, *world, *jsonPath)
 		return
 	}
 
@@ -617,6 +623,173 @@ func wireExperiment(seed uint64, world, jsonPath string) {
 			c.Mode, c.ColdMs, c.WarmMs, c.Scattered, c.Requests, c.BytesSent)
 	}
 	fmt.Printf("worker boot (world gen + shard + listen) took %.0fms for %d workers\n", rep.BootMs, workers)
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+}
+
+// compiledCaseResult compares one query's warm serving latency and
+// allocation count between the interpreted and compiled execution
+// paths (same system, same caches, A/B via SetCompiledPlans).
+type compiledCaseResult struct {
+	Case              int     `json:"case"`
+	Query             string  `json:"query"`
+	InterpretedWarmUs float64 `json:"interpreted_warm_us"` // median of the warm rounds
+	CompiledWarmUs    float64 `json:"compiled_warm_us"`    // median of the warm rounds
+	Speedup           float64 `json:"speedup"`
+	InterpretedAllocs uint64  `json:"interpreted_warm_allocs"` // median of the warm rounds
+	CompiledAllocs    uint64  `json:"compiled_warm_allocs"`    // median of the warm rounds
+	AllocRatio        float64 `json:"alloc_ratio"`             // interpreted / compiled
+}
+
+// compiledSnapshotResult measures the persistence path: snapshot size
+// and save/load time, plus the first-ask latency of a fresh process
+// with and without the snapshot.
+type compiledSnapshotResult struct {
+	Bytes             int     `json:"bytes"`
+	Queries           int     `json:"queries"`
+	Steps             int     `json:"steps"`
+	SaveMs            float64 `json:"save_ms"`
+	LoadMs            float64 `json:"load_ms"`
+	ColdRestartMs     float64 `json:"cold_restart_first_ask_ms"`
+	SnapshotRestartMs float64 `json:"snapshot_restart_first_ask_ms"`
+	RestartSpeedup    float64 `json:"restart_speedup"`
+}
+
+// compiledReport is the BENCH_10.json schema: the compiled-plan point
+// of the perf trajectory — zero-reparse warm serving plus persistent
+// cache snapshots (PR 10).
+type compiledReport struct {
+	Benchmark  string                 `json:"benchmark"`
+	PR         int                    `json:"pr"`
+	World      string                 `json:"world"`
+	Seed       uint64                 `json:"seed"`
+	WarmRounds int                    `json:"warm_rounds"`
+	Cases      []compiledCaseResult   `json:"cases"`
+	Snapshot   compiledSnapshotResult `json:"snapshot"`
+}
+
+// compiledExperiment measures what plan compilation buys on the warm
+// path: every case-study query served warm with compiled execution
+// disabled (the interpreted engine walks the workflow AST) and enabled
+// (the cached compiled artifact replays with pooled scratch), on the
+// same system with the same hot caches. It then exercises the
+// persistence tier: save the warm system's snapshot, boot two fresh
+// systems — one cold, one restored from the snapshot — and compare
+// their first-ask latencies.
+func compiledExperiment(seed uint64, world, jsonPath string) {
+	header("Compiled plans (interpreted vs compiled warm path)")
+	const warmRounds = 7
+	rep := compiledReport{
+		Benchmark: "compiled-plans-warm-path", PR: 10,
+		World: world, Seed: seed, WarmRounds: warmRounds,
+	}
+	opts := []arachnet.Option{arachnet.WithScenario(arachnet.ScenarioConfig{Seed: seed})}
+	switch world {
+	case "full":
+		opts = append(opts, arachnet.WithSeed(seed))
+	case "small":
+		opts = append(opts, arachnet.WithSmallWorld(seed))
+	default:
+		fatal(fmt.Errorf("unknown world %q", world))
+	}
+	sys, err := arachnet.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	keys := make([]int, 0, len(queries))
+	for n := range queries {
+		keys = append(keys, n)
+	}
+	sort.Ints(keys)
+
+	// Warm latency+allocs for the current execution mode: median over
+	// the rounds, after two untimed warm-up asks.
+	measureWarm := func(query string) (time.Duration, uint64) {
+		ask(sys, query)
+		ask(sys, query)
+		times := make([]time.Duration, warmRounds)
+		allocs := make([]uint64, warmRounds)
+		for r := range times {
+			times[r], allocs[r] = askAllocs(sys, query)
+		}
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		sort.Slice(allocs, func(i, j int) bool { return allocs[i] < allocs[j] })
+		return times[warmRounds/2], allocs[warmRounds/2]
+	}
+
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	fmt.Printf("%-6s %14s %14s %9s %12s %12s %8s\n",
+		"case", "interp warm", "compiled warm", "speedup", "interp alloc", "comp alloc", "ratio")
+	for _, n := range keys {
+		ask(sys, queries[n]) // cold run: populate plan, compiled artifact, step cache
+		sys.SetCompiledPlans(false)
+		iWarm, iAllocs := measureWarm(queries[n])
+		sys.SetCompiledPlans(true)
+		cWarm, cAllocs := measureWarm(queries[n])
+		res := compiledCaseResult{
+			Case: n, Query: queries[n],
+			InterpretedWarmUs: us(iWarm), CompiledWarmUs: us(cWarm),
+			Speedup:           float64(iWarm) / float64(cWarm),
+			InterpretedAllocs: iAllocs, CompiledAllocs: cAllocs,
+			AllocRatio: float64(iAllocs) / float64(cAllocs),
+		}
+		rep.Cases = append(rep.Cases, res)
+		fmt.Printf("CS%-5d %14v %14v %8.1fx %12d %12d %7.1fx\n", n,
+			iWarm.Round(100*time.Nanosecond), cWarm.Round(100*time.Nanosecond),
+			res.Speedup, iAllocs, cAllocs, res.AllocRatio)
+	}
+
+	// Persistence: snapshot the warm system, then race a cold boot
+	// against a snapshot-restored boot on their first ask of CS1.
+	var buf bytes.Buffer
+	t0 := time.Now()
+	if err := sys.SaveSnapshot(&buf); err != nil {
+		fatal(err)
+	}
+	rep.Snapshot.SaveMs = ms(time.Since(t0))
+	rep.Snapshot.Bytes = buf.Len()
+	var snap struct {
+		Queries []string          `json:"queries"`
+		Steps   []json.RawMessage `json:"steps"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		fatal(err)
+	}
+	rep.Snapshot.Queries, rep.Snapshot.Steps = len(snap.Queries), len(snap.Steps)
+
+	coldSys, err := arachnet.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Snapshot.ColdRestartMs = ms(timeAsk(coldSys, queries[1]))
+
+	warmSys, err := arachnet.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	t0 = time.Now()
+	if err := warmSys.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		fatal(err)
+	}
+	rep.Snapshot.LoadMs = ms(time.Since(t0))
+	rep.Snapshot.SnapshotRestartMs = ms(timeAsk(warmSys, queries[1]))
+	rep.Snapshot.RestartSpeedup = rep.Snapshot.ColdRestartMs / rep.Snapshot.SnapshotRestartMs
+
+	fmt.Printf("snapshot: %d bytes (%d queries, %d steps); save %.1fms, load %.1fms\n",
+		rep.Snapshot.Bytes, rep.Snapshot.Queries, rep.Snapshot.Steps,
+		rep.Snapshot.SaveMs, rep.Snapshot.LoadMs)
+	fmt.Printf("restart first ask: cold %.1fms vs snapshot %.2fms (%.0fx)\n",
+		rep.Snapshot.ColdRestartMs, rep.Snapshot.SnapshotRestartMs, rep.Snapshot.RestartSpeedup)
 
 	if jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")

@@ -24,6 +24,14 @@
 // "default". SIGINT/SIGTERM triggers a graceful shutdown: new requests
 // are refused, accepted jobs drain (bounded by -drain-timeout), then
 // the process exits.
+//
+// With -snapshot FILE the server persists its warm caches across
+// restarts: each tenant's plan and step caches are written to the file
+// during graceful shutdown and restored at the next boot (when the
+// world, seed, registry and scenario still match — a mismatch is
+// logged and the tenant starts cold). A restarted server answers its
+// first repeated query as a cache hit. With multiple tenants each
+// tenant uses FILE.<name>.
 package main
 
 import (
@@ -59,6 +67,7 @@ func main() {
 		fleetN       = flag.Int("fleet", 0, "shard each tenant's world over N fleet workers; fan-out steps scatter-gather across shards (0 = inline execution)")
 		fleetRemote  = flag.String("fleet-remote", "", "comma-separated arachnet-worker addresses (host:port,...), one per shard; overrides -fleet")
 		tenantsPath  = flag.String("tenants", "", "path to a JSON array of tenant configurations (empty = one open tenant)")
+		snapshot     = flag.String("snapshot", "", "cache snapshot file: loaded per tenant at boot (if present and matching), rewritten during graceful shutdown — a restarted server answers repeated queries warm; with multiple tenants each uses file.<tenant>")
 	)
 	flag.Parse()
 
@@ -104,6 +113,33 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	// Tenant snapshot paths: a single tenant owns the file as given;
+	// multiple tenants each get a ".<name>" suffix so their isolated
+	// caches never mix.
+	tenantNames := []string{"default"}
+	if len(cfg.Tenants) > 0 {
+		tenantNames = tenantNames[:0]
+		for _, tc := range cfg.Tenants {
+			tenantNames = append(tenantNames, tc.Name)
+		}
+	}
+	snapshotPath := func(tenant string) string {
+		if len(tenantNames) == 1 {
+			return *snapshot
+		}
+		return *snapshot + "." + tenant
+	}
+	if *snapshot != "" {
+		for _, name := range tenantNames {
+			t := server.Tenant(name)
+			if t == nil {
+				continue
+			}
+			loadSnapshot(t.System(), name, snapshotPath(name))
+		}
+	}
+
 	httpSrv := &http.Server{Addr: *addr, Handler: server}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -135,7 +171,67 @@ func main() {
 	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("arachnet-serve: http shutdown: %v", err)
 	}
+	// Snapshot after the drain: the caches are quiescent, so the file
+	// captures exactly the warm state the next boot restores.
+	if *snapshot != "" {
+		for _, name := range tenantNames {
+			t := server.Tenant(name)
+			if t == nil {
+				continue
+			}
+			saveSnapshot(t.System(), name, snapshotPath(name))
+		}
+	}
 	log.Printf("arachnet-serve: bye")
+}
+
+// loadSnapshot restores one tenant's cache snapshot. A missing file is
+// a normal first boot; a mismatched one (different world, seed,
+// registry or scenario) leaves the tenant cold — snapshots accelerate,
+// they never gate serving.
+func loadSnapshot(sys *core.System, tenant, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			log.Printf("arachnet-serve: snapshot %s (tenant %s): %v (starting cold)", path, tenant, err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := sys.LoadSnapshot(f); err != nil {
+		log.Printf("arachnet-serve: snapshot %s (tenant %s) rejected: %v (starting cold)", path, tenant, err)
+		return
+	}
+	log.Printf("arachnet-serve: snapshot %s (tenant %s) loaded", path, tenant)
+}
+
+// saveSnapshot writes one tenant's cache snapshot atomically (temp
+// file + rename), so a crash mid-write never corrupts the previous
+// snapshot.
+func saveSnapshot(sys *core.System, tenant, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		log.Printf("arachnet-serve: snapshot %s (tenant %s): %v", path, tenant, err)
+		return
+	}
+	if err := sys.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		log.Printf("arachnet-serve: snapshot %s (tenant %s): %v", path, tenant, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		log.Printf("arachnet-serve: snapshot %s (tenant %s): %v", path, tenant, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		log.Printf("arachnet-serve: snapshot %s (tenant %s): %v", path, tenant, err)
+		return
+	}
+	log.Printf("arachnet-serve: snapshot %s (tenant %s) saved", path, tenant)
 }
 
 func splitAddrs(s string) []string {

@@ -20,6 +20,12 @@
 // SIGINT/SIGTERM shuts the worker down gracefully; the coordinator
 // fails the shard over to its in-process twin, so in-flight asks
 // complete either way.
+//
+// Pass -scenario when the coordinator injects the cable-failure
+// scenario: scenario-reading capabilities (e.g. the traceroute
+// archive-window scatter) then execute on the worker's own identical
+// scenario copy. Without it such requests are refused and served by
+// the coordinator's in-process fallback — correct, just not remote.
 package main
 
 import (
@@ -41,12 +47,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":9100", "listen address")
-		world   = flag.String("world", "full", "world size: full|small (must match the coordinator)")
-		seed    = flag.Uint64("seed", 42, "world seed (must match the coordinator)")
-		shards  = flag.Int("shards", 1, "total shard count of the fleet (must match the coordinator's worker count)")
-		index   = flag.Int("index", 0, "which shard this worker owns (0-based)")
-		entries = flag.Int("cache-entries", 512, "per-shard step cache size (0 disables caching)")
+		addr     = flag.String("addr", ":9100", "listen address")
+		world    = flag.String("world", "full", "world size: full|small (must match the coordinator)")
+		seed     = flag.Uint64("seed", 42, "world seed (must match the coordinator)")
+		shards   = flag.Int("shards", 1, "total shard count of the fleet (must match the coordinator's worker count)")
+		index    = flag.Int("index", 0, "which shard this worker owns (0-based)")
+		entries  = flag.Int("cache-entries", 512, "per-shard step cache size (0 disables caching)")
+		scenario = flag.Bool("scenario", false, "inject the cable-failure measurement scenario (must match the coordinator's -scenario)")
 	)
 	flag.Parse()
 
@@ -62,6 +69,11 @@ func main() {
 	env, err := core.NewEnvironment(worldCfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *scenario {
+		if err := env.InjectCableFailureScenario(core.ScenarioConfig{Seed: *seed}); err != nil {
+			fatal(err)
+		}
 	}
 	srv, err := fleetwire.NewServer(env, core.BuiltinRegistry(), *shards, *index, *entries)
 	if err != nil {

@@ -47,6 +47,7 @@ func main() {
 		monitor     = flag.Bool("monitor", false, "run the query as a standing subscription and print delta events until interrupted")
 		injectEvery = flag.Duration("inject-every", 0, "with -monitor: inject a fresh cable-failure scenario on this interval (0 = never)")
 		injectCount = flag.Int("inject-count", 3, "with -monitor and -inject-every: stop injecting after this many scenarios (0 = no limit)")
+		snapshot    = flag.String("snapshot", "", "cache snapshot file: loaded before the query (if present and matching this world/seed/registry), rewritten after it — repeated invocations answer warm")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -94,6 +95,10 @@ func main() {
 	sys, err := arachnet.New(opts...)
 	if err != nil {
 		fatal(err)
+	}
+	if *snapshot != "" {
+		loadSnapshot(sys, *snapshot)
+		defer saveSnapshot(sys, *snapshot)
 	}
 
 	// Ctrl-C cancels the pipeline mid-run.
@@ -319,6 +324,51 @@ func renderValue(v any) string {
 			x.StatisticalEvidence, x.InfraEvidence, x.RoutingEvidence, x.Explanation)
 	default:
 		return fmt.Sprintf("%v", v)
+	}
+}
+
+// loadSnapshot warms the system from a cache snapshot file. A missing
+// file is a normal first run; a mismatched one (different world, seed,
+// registry or scenario) is reported and the run proceeds cold —
+// snapshots are an accelerator, never a correctness dependency.
+func loadSnapshot(sys *arachnet.System, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "arachnet: snapshot %s: %v (starting cold)\n", path, err)
+		}
+		return
+	}
+	defer f.Close()
+	if err := sys.LoadSnapshot(f); err != nil {
+		fmt.Fprintf(os.Stderr, "arachnet: snapshot %s rejected: %v (starting cold)\n", path, err)
+	}
+}
+
+// saveSnapshot writes the system's warm cache state atomically
+// (temp file + rename) so a crash mid-write never corrupts the
+// previous snapshot.
+func saveSnapshot(sys *arachnet.System, path string) {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arachnet: snapshot %s: %v\n", path, err)
+		return
+	}
+	if err := sys.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		fmt.Fprintf(os.Stderr, "arachnet: snapshot %s: %v\n", path, err)
+		return
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		fmt.Fprintf(os.Stderr, "arachnet: snapshot %s: %v\n", path, err)
+		return
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		fmt.Fprintf(os.Stderr, "arachnet: snapshot %s: %v\n", path, err)
 	}
 }
 

@@ -181,6 +181,75 @@ func TestFleetFullRegistryMatchesInline(t *testing.T) {
 	}
 }
 
+// TestFleetArchiveWindowMatchesInline exercises the scenario-reading
+// scatter path: traceroute.archive_window has no bound fan-out input —
+// its data lives in the injected scenario — so its Split shards the
+// archive's probes by source country and its Merge replays the
+// coordinator archive's measurement order over the gathered partials.
+// The scattered CS4 forensic report must match inline execution
+// exactly.
+func TestFleetArchiveWindowMatchesInline(t *testing.T) {
+	const seed = 42
+	const query = "A sudden increase in latency was observed from European probes to Asian destinations starting three days ago. Determine if a submarine cable failure caused this, and if so, identify the specific cable."
+	build := func(n int) *arachnet.System {
+		opts := []arachnet.Option{
+			arachnet.WithSmallWorld(seed),
+			arachnet.WithScenario(arachnet.ScenarioConfig{Seed: 5}),
+		}
+		if n > 0 {
+			opts = append(opts, arachnet.WithFleet(n))
+		}
+		sys, err := arachnet.New(opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := sys.Fleet(); f != nil {
+			t.Cleanup(f.Close)
+		}
+		return sys
+	}
+	sys0, sys4 := build(0), build(4)
+	rep0, err := sys0.Ask(ctx, query, arachnet.AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep4, err := sys4.Ask(ctx, query, arachnet.AskWithoutCuration())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The archive-window step must actually have gone through the
+	// fleet, or this proves nothing about the scenario-reading spec.
+	archiveRemote := false
+	for _, s := range rep4.Result.Steps {
+		if s.Capability == "traceroute.archive_window" && s.Remote {
+			archiveRemote = true
+		}
+	}
+	if !archiveRemote {
+		t.Fatal("traceroute.archive_window did not execute remotely on the fleet")
+	}
+	if st := sys4.Fleet().Stats(); st.Scattered == 0 {
+		t.Fatalf("nothing scattered on the 4-shard fleet: %+v", st)
+	}
+
+	out0, err := json.Marshal(rep0.Result.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out4, err := json.Marshal(rep4.Result.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out0) != string(out4) {
+		t.Errorf("inline and fleet-4 forensic outputs differ:\ninline: %s\nfleet:  %s", out0, out4)
+	}
+	if len(rep0.Result.Steps) != len(rep4.Result.Steps) {
+		t.Errorf("step count differs: inline %d, fleet %d",
+			len(rep0.Result.Steps), len(rep4.Result.Steps))
+	}
+}
+
 // TestFleetConcurrentAsks hammers a 4-shard fleet with concurrent
 // asks while the environment epoch advances underneath (scenario
 // injection mid-run) — the -race job's fleet workout. Results are

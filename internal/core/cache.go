@@ -204,6 +204,25 @@ func (c *lruCache) evictLocked(s *cacheShard, maxEntries, maxBytes int64) {
 }
 
 // Counters snapshots the cache's observable state.
+// entries snapshots every cached (key, value, size), shard by shard in
+// recency order (most recent first within a shard). Each shard is
+// copied under its own lock, so the view is per-shard consistent —
+// good enough for the snapshot writer, which tolerates entries added
+// or evicted mid-walk.
+func (c *lruCache) entries() []cacheEntry {
+	var out []cacheEntry
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		for el := s.order.Front(); el != nil; el = el.Next() {
+			ent := el.Value.(*cacheEntry)
+			out = append(out, cacheEntry{key: ent.key, val: ent.val, size: ent.size})
+		}
+		s.mu.Unlock()
+	}
+	return out
+}
+
 func (c *lruCache) Counters() CacheCounters {
 	out := CacheCounters{
 		Hits:      c.hits.Load(),

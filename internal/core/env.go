@@ -37,6 +37,35 @@ const (
 	FacetScenario = "scenario"
 )
 
+// fpCached memoizes the rendered fingerprint strings of one
+// (identity, epoch) state so the hot serving path — which consults
+// Fingerprint on every Ask for the plan key and the engine cache key —
+// never re-renders them. Swapped atomically; a stale pointer is just
+// recomputed.
+type fpCached struct {
+	id, epoch             uint64
+	full, world, scenario string
+}
+
+// fpStringsNow returns the memoized fingerprint strings for the
+// environment's current state, rendering them only when the identity
+// or epoch moved since the last call.
+func (e *Environment) fpStringsNow() *fpCached {
+	id, ep := e.fpID.Load(), e.fpEpoch.Load()
+	if p := e.fpStrs.Load(); p != nil && p.id == id && p.epoch == ep {
+		return p
+	}
+	p := &fpCached{
+		id:       id,
+		epoch:    ep,
+		full:     fmt.Sprintf("env%d.%d", id, ep),
+		world:    fmt.Sprintf("env%d.w", id),
+		scenario: fmt.Sprintf("env%d.s%d", id, ep),
+	}
+	e.fpStrs.Store(p)
+	return p
+}
+
 // Fingerprint uniquely identifies this environment instance and its
 // mutation epoch. It is mixed into every step-cache key, so memoized
 // results computed against one environment (or against this one before
@@ -44,8 +73,10 @@ const (
 // identity is deliberately per-instance rather than content-derived:
 // two worlds built from the same seed would produce identical results,
 // but proving that is the cache's job only within one environment.
+// (LoadSnapshot is the one deliberate exception: it validates content
+// equivalence and then adopts the saved identity.)
 func (e *Environment) Fingerprint() string {
-	return fmt.Sprintf("env%d.%d", e.fpID.Load(), e.fpEpoch.Load())
+	return e.fpStringsNow().full
 }
 
 // FacetFingerprint scopes the fingerprint to the environment facets a
@@ -71,11 +102,11 @@ func (e *Environment) FacetFingerprint(reads []string) string {
 	if scenario {
 		// Scenario readers see the mutation epoch: every injection
 		// replaces the scenario, which is the only mutable facet today.
-		return fmt.Sprintf("env%d.s%d", e.fpID.Load(), e.fpEpoch.Load())
+		return e.fpStringsNow().scenario
 	}
 	// World-only readers: identity without the epoch — the world never
 	// changes in place.
-	return fmt.Sprintf("env%d.w", e.fpID.Load())
+	return e.fpStringsNow().world
 }
 
 // Epoch returns the environment's mutation epoch: 0 at construction,
@@ -105,6 +136,20 @@ func (e *Environment) bumpFingerprint() {
 		}
 	}
 	e.watchMu.Unlock()
+}
+
+// adoptFingerprint rebinds the environment's cache identity to a saved
+// one. This is the snapshot-restore seam: step-cache keys persisted by
+// a previous process embed that process's (identity, epoch), so after
+// LoadSnapshot has proven the environments content-equivalent the
+// loading environment takes over the saved identity and the persisted
+// keys resolve. Identities only need to be unique within one System
+// (caches are per-System), so adopting a foreign one is safe; any
+// entries cached under the pre-adoption identity merely become
+// unreachable garbage for the LRU to age out.
+func (e *Environment) adoptFingerprint(id, epoch uint64) {
+	e.fpID.Store(id)
+	e.fpEpoch.Store(epoch)
 }
 
 // Watch registers ch to be poked — a non-blocking send of one empty

@@ -157,6 +157,16 @@ type emitter struct {
 	sink      func(Event)
 }
 
+// active reports whether anyone would see an event from this run.
+// The warm serving path checks it before constructing events at all:
+// a plain Ask with no observers and no sink allocates nothing for
+// observability it cannot deliver. An inactive emitter also cannot
+// veto, so skipping emission is semantically identical, not just
+// byte-identical.
+func (e *emitter) active() bool {
+	return len(e.observers) > 0 || e.sink != nil
+}
+
 func (e *emitter) emit(ev Event) error {
 	m := ev.meta()
 	m.Query, m.Seq, m.Time = e.query, e.seq, time.Now()

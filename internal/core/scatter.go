@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strings"
 
 	"arachnet/internal/fleet"
 	"arachnet/internal/netsim"
+	"arachnet/internal/traceroute"
 	"arachnet/internal/xaminer"
 )
 
@@ -27,7 +29,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 	// exactly. Unknown link IDs are skipped, mirroring the
 	// capability's own behavior.
 	f.SetScatter("nautilus.extract_ips", fleet.Scatter{
-		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+		Split: func(p *netsim.Partition, _ any, in map[string]any) (map[int]map[string]any, bool) {
 			links, ok := in["links"].([]netsim.LinkID)
 			if !ok {
 				return nil, false
@@ -47,7 +49,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 			}
 			return parts, true
 		},
-		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+		Merge: func(p *netsim.Partition, _ any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
 			set := map[netip.Addr]bool{}
 			for shard, out := range parts {
 				ips, ok := out["ips"].([]netip.Addr)
@@ -80,7 +82,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 	// scores are recomputed with xaminer.ScoreOf — the same arithmetic,
 	// in the same order, as the unsharded path.
 	f.SetScatter("xaminer.impact_from_links", fleet.Scatter{
-		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+		Split: func(p *netsim.Partition, _ any, in map[string]any) (map[int]map[string]any, bool) {
 			links, ok := in["links"].([]netsim.LinkID)
 			if !ok {
 				return nil, false
@@ -100,7 +102,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 			}
 			return parts, true
 		},
-		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+		Merge: func(p *netsim.Partition, _ any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
 			links, ok := orig["links"].([]netsim.LinkID)
 			if !ok {
 				return nil, fmt.Errorf("original links input is %T", orig["links"])
@@ -172,7 +174,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 	// address. Unlocatable addresses are skipped at split time —
 	// exactly the rows the capability itself would drop.
 	f.SetScatter("geo.locate_ips", fleet.Scatter{
-		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+		Split: func(p *netsim.Partition, _ any, in map[string]any) (map[int]map[string]any, bool) {
 			ips, ok := in["ips"].([]netip.Addr)
 			if !ok {
 				return nil, false
@@ -192,7 +194,7 @@ func installScatterSpecs(f *fleet.Fleet) {
 			}
 			return parts, true
 		},
-		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+		Merge: func(p *netsim.Partition, _ any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
 			ips, ok := orig["ips"].([]netip.Addr)
 			if !ok {
 				return nil, fmt.Errorf("original ips input is %T", orig["ips"])
@@ -231,4 +233,93 @@ func installScatterSpecs(f *fleet.Fleet) {
 			return map[string]any{"geo": merged}, nil
 		},
 	})
+
+	// traceroute.archive_window: the first environment-reading scatter.
+	// The capability has no bound inputs — its fan-out data is the
+	// injected scenario's probe archive — so Split partitions by probe
+	// instead: each probe is owned by the shard of its source country
+	// (the first component of the "SRC-DST-n" campaign probe name), and
+	// every shard receives a sorted probe-name subset as the undeclared
+	// "probes" input the capability's Impl honors as an order-preserving
+	// filter. Declines are shard-count-independent: no scenario/archive
+	// in the environment, or any probe whose source country the
+	// partition doesn't know. Merge replays the coordinator archive's
+	// full measurement order, pulling each measurement from its owning
+	// shard's (order-preserving) filtered archive with per-shard cursors
+	// and probe/time conflict checks — so the gathered archive is
+	// element-identical to the unsharded one for any shard count.
+	f.SetScatter("traceroute.archive_window", fleet.Scatter{
+		Split: func(p *netsim.Partition, env any, in map[string]any) (map[int]map[string]any, bool) {
+			e, ok := env.(*Environment)
+			if !ok || e.Scenario == nil || e.Scenario.Archive == nil {
+				return nil, false
+			}
+			byShard := map[int][]string{}
+			for _, probe := range e.Scenario.Archive.Probes() {
+				s := p.ShardOfCountry(probeSourceCountry(probe))
+				if s < 0 {
+					// A probe no shard owns: the whole step must run on
+					// the coordinator — dropping it would change the
+					// archive.
+					return nil, false
+				}
+				byShard[s] = append(byShard[s], probe)
+			}
+			parts := make(map[int]map[string]any, len(byShard))
+			for s, probes := range byShard {
+				sort.Strings(probes)
+				parts[s] = map[string]any{"probes": probes}
+			}
+			return parts, true
+		},
+		Merge: func(p *netsim.Partition, env any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+			e, ok := env.(*Environment)
+			if !ok || e.Scenario == nil || e.Scenario.Archive == nil {
+				return nil, fmt.Errorf("environment lost its archive between split and merge")
+			}
+			full := e.Scenario.Archive.Measurements
+			archOf := make(map[int][]traceroute.Measurement, len(parts))
+			for shard, out := range parts {
+				arch, ok := out["archive"].(*traceroute.Archive)
+				if !ok {
+					return nil, fmt.Errorf("shard %d produced %T for archive", shard, out["archive"])
+				}
+				archOf[shard] = arch.Measurements
+			}
+			cursor := map[int]int{}
+			merged := &traceroute.Archive{Measurements: make([]traceroute.Measurement, 0, len(full))}
+			for _, m := range full {
+				s := p.ShardOfCountry(probeSourceCountry(m.Probe))
+				if s < 0 {
+					return nil, fmt.Errorf("probe %s lost its shard between split and merge", m.Probe)
+				}
+				ms := archOf[s]
+				i := cursor[s]
+				if i >= len(ms) {
+					return nil, fmt.Errorf("shard %d returned %d measurements, need more for %s", s, len(ms), m.Probe)
+				}
+				if ms[i].Probe != m.Probe || !ms[i].Time.Equal(m.Time) {
+					return nil, fmt.Errorf("shard %d measurement %d is %s@%s, want %s@%s (order conflict)",
+						s, i, ms[i].Probe, ms[i].Time, m.Probe, m.Time)
+				}
+				cursor[s] = i + 1
+				merged.Measurements = append(merged.Measurements, ms[i])
+			}
+			for s, ms := range archOf {
+				if cursor[s] != len(ms) {
+					return nil, fmt.Errorf("shard %d returned %d surplus measurements", s, len(ms)-cursor[s])
+				}
+			}
+			return map[string]any{"archive": merged}, nil
+		},
+	})
+}
+
+// probeSourceCountry extracts the source-country prefix from a campaign
+// probe name of the form "SRC-DST-n" ("" when the name has no dash).
+func probeSourceCountry(name string) string {
+	if i := strings.IndexByte(name, '-'); i > 0 {
+		return name[:i]
+	}
+	return ""
 }

@@ -6,9 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"strconv"
-	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"arachnet/internal/agents/querymind"
 	"arachnet/internal/agents/registrycurator"
@@ -169,6 +170,29 @@ type System struct {
 	// is safe concurrently with serving.
 	fleetMu sync.RWMutex
 	fleet   *fleet.Fleet
+
+	// engineSlot caches the last observer-less engine built for the warm
+	// serving path: engines are stateless and safe for concurrent Runs,
+	// so every warm Ask with the same (env fingerprint, fleet,
+	// parallelism) shares one instead of re-assembling options and
+	// closures per call. Calls with observers build their own engine as
+	// before.
+	engineSlot atomic.Pointer[engineSlot]
+
+	// compiledOff disables compiled-plan execution when set (plans still
+	// compile and cache; runs fall back to the interpreted engine). The
+	// zero value — compiled execution on — is the default; the switch
+	// exists for A/B benchmarking and the byte-identity tests. See
+	// SetCompiledPlans.
+	compiledOff atomic.Bool
+}
+
+// engineSlot is one memoized engine and the key it was built under.
+type engineSlot struct {
+	envFP string
+	fleet *fleet.Fleet
+	par   int
+	eng   *workflow.Engine
 }
 
 // maxHistory bounds the observation window curation mines. Patterns
@@ -319,7 +343,9 @@ func (s *System) Ask(ctx context.Context, query string, opts ...AskOption) (*Rep
 	cfg := newAskConfig(opts)
 	em := &emitter{query: query, observers: cfg.observers}
 	rep, err := s.run(ctx, query, cfg, em)
-	em.emit(&Done{Report: rep, Err: err})
+	if em.active() {
+		em.emit(&Done{Report: rep, Err: err})
+	}
 	return rep, err
 }
 
@@ -401,38 +427,61 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 	rep = &Report{Query: query}
 	defer func() { rep.Elapsed = time.Since(start) }()
 
-	solution, err := s.plan(ctx, query, cfg, em, rep)
+	solution, compiled, err := s.plan(ctx, query, cfg, em, rep)
 	if err != nil {
 		return rep, err
 	}
 
 	// Execution over the parallel DAG engine. The step bridge surfaces
-	// per-step events; a veto there cancels the run mid-workflow.
-	if err := em.emit(&StageStarted{Stage: StageResult}); err != nil {
-		return rep, pipelineErr(StageResult, query, err)
+	// per-step events; a veto there cancels the run mid-workflow. An
+	// inactive emitter (no observers, no sink — the common warm Ask)
+	// skips event construction and the bridge entirely: nothing could
+	// see the events or veto through them.
+	active := em.active()
+	if active {
+		if err := em.emit(&StageStarted{Stage: StageResult}); err != nil {
+			return rep, pipelineErr(StageResult, query, err)
+		}
 	}
 	exCtx, cancelEx := context.WithCancel(ctx)
 	defer cancelEx()
-	bridge := &stepBridge{em: em, cancel: cancelEx}
-	engineOpts := []workflow.EngineOption{
-		workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge),
+	f := s.Fleet()
+	var bridge *stepBridge
+	var engine *workflow.Engine
+	switch {
+	case active:
+		bridge = &stepBridge{em: em, cancel: cancelEx}
+		engineOpts := []workflow.EngineOption{
+			workflow.WithParallelism(cfg.parallelism), workflow.WithObserver(bridge),
+		}
+		if !cfg.noCache {
+			// Facet-scoped cache keys: steps reading only the immutable
+			// world facet keep their fingerprints across scenario
+			// injections, so a standing query's re-run executes only the
+			// scenario-dirty subgraph and replays the rest from cache.
+			engineOpts = append(engineOpts,
+				workflow.WithCache(stepCacheAdapter{s.stepCache}, s.env.Fingerprint()),
+				workflow.WithEnvKeyer(s.facetKeyer))
+		}
+		if f != nil {
+			engineOpts = append(engineOpts, workflow.WithDispatcher(f))
+		}
+		engine = workflow.NewEngine(s.reg, s.env, engineOpts...)
+	case cfg.noCache:
+		engineOpts := []workflow.EngineOption{workflow.WithParallelism(cfg.parallelism)}
+		if f != nil {
+			engineOpts = append(engineOpts, workflow.WithDispatcher(f))
+		}
+		engine = workflow.NewEngine(s.reg, s.env, engineOpts...)
+	default:
+		engine = s.engineFor(cfg.parallelism, f)
 	}
-	if !cfg.noCache {
-		// Facet-scoped cache keys: steps reading only the immutable
-		// world facet keep their fingerprints across scenario
-		// injections, so a standing query's re-run executes only the
-		// scenario-dirty subgraph and replays the rest from cache.
-		engineOpts = append(engineOpts,
-			workflow.WithCache(stepCacheAdapter{s.stepCache}, s.env.Fingerprint()),
-			workflow.WithEnvKeyer(func(capb *registry.Capability) string {
-				return s.env.FacetFingerprint(capb.Reads)
-			}))
+	var result *workflow.Result
+	if compiled != nil && !s.compiledOff.Load() {
+		result, err = engine.RunCompiled(exCtx, compiled)
+	} else {
+		result, err = engine.Run(exCtx, solution.Workflow)
 	}
-	if f := s.Fleet(); f != nil {
-		engineOpts = append(engineOpts, workflow.WithDispatcher(f))
-	}
-	engine := workflow.NewEngine(s.reg, s.env, engineOpts...)
-	result, err := engine.Run(exCtx, solution.Workflow)
 	rep.Result = result
 	s.mu.Lock()
 	s.history = append(s.history, registrycurator.Observation{
@@ -447,60 +496,144 @@ func (s *System) run(ctx context.Context, query string, cfg askConfig, em *emitt
 		}
 	}
 	s.mu.Unlock()
-	if bridge.veto != nil {
+	if bridge != nil && bridge.veto != nil {
 		return rep, pipelineErr(StageResult, query, bridge.veto)
 	}
 	if err != nil {
 		return rep, pipelineErr(StageResult, query, err)
 	}
-	if err := em.emit(&StageCompleted{Stage: StageResult, Artifact: result}); err != nil {
-		return rep, pipelineErr(StageResult, query, err)
+	if active {
+		if err := em.emit(&StageCompleted{Stage: StageResult, Artifact: result}); err != nil {
+			return rep, pipelineErr(StageResult, query, err)
+		}
 	}
 
 	// Registry evolution (RegistryCurator). Serialized so concurrent
 	// calls never race to promote the same pattern.
 	if cfg.curate {
-		if err := em.emit(&StageStarted{Stage: StageCuration}); err != nil {
-			return rep, pipelineErr(StageCuration, query, err)
+		if active {
+			if err := em.emit(&StageStarted{Stage: StageCuration}); err != nil {
+				return rep, pipelineErr(StageCuration, query, err)
+			}
 		}
 		promos, err := s.curate()
 		if err != nil {
 			return rep, pipelineErr(StageCuration, query, err)
 		}
 		rep.Promotions = promos
-		for _, p := range promos {
-			if err := em.emit(&CurationPromoted{Promotion: p}); err != nil {
+		if active {
+			for _, p := range promos {
+				if err := em.emit(&CurationPromoted{Promotion: p}); err != nil {
+					return rep, pipelineErr(StageCuration, query, err)
+				}
+			}
+			if err := em.emit(&StageCompleted{Stage: StageCuration, Artifact: promos}); err != nil {
 				return rep, pipelineErr(StageCuration, query, err)
 			}
-		}
-		if err := em.emit(&StageCompleted{Stage: StageCuration, Artifact: promos}); err != nil {
-			return rep, pipelineErr(StageCuration, query, err)
 		}
 	}
 	return rep, nil
 }
 
+// facetKeyer is the engine env-keyer closure shared by every engine
+// the System builds: one method value instead of a fresh closure per
+// call.
+func (s *System) facetKeyer(capb *registry.Capability) string {
+	return s.env.FacetFingerprint(capb.Reads)
+}
+
+// engineFor returns the memoized observer-less engine for the given
+// parallelism and fleet, rebuilding it when the environment
+// fingerprint, fleet, or parallelism changed since the last warm call.
+// Engines are stateless, so concurrent runs may share the cached one;
+// a race here at worst builds one redundant engine.
+func (s *System) engineFor(par int, f *fleet.Fleet) *workflow.Engine {
+	fp := s.env.Fingerprint()
+	if sl := s.engineSlot.Load(); sl != nil && sl.envFP == fp && sl.fleet == f && sl.par == par {
+		return sl.eng
+	}
+	engineOpts := []workflow.EngineOption{
+		workflow.WithParallelism(par),
+		workflow.WithCache(stepCacheAdapter{s.stepCache}, fp),
+		workflow.WithEnvKeyer(s.facetKeyer),
+	}
+	if f != nil {
+		engineOpts = append(engineOpts, workflow.WithDispatcher(f))
+	}
+	eng := workflow.NewEngine(s.reg, s.env, engineOpts...)
+	s.engineSlot.Store(&engineSlot{envFP: fp, fleet: f, par: par, eng: eng})
+	return eng
+}
+
+// SetCompiledPlans toggles compiled-plan execution (on by default).
+// When off, cached plans still compile and cache their artifacts, but
+// every run takes the interpreted engine path — the A/B seam the
+// byte-identity tests and arachnet-bench's -compiledbench use. Safe
+// to flip concurrently with serving; in-flight runs keep the path
+// they started on.
+func (s *System) SetCompiledPlans(enabled bool) {
+	s.compiledOff.Store(!enabled)
+}
+
 // planEntry is one memoized planning outcome: everything the three
 // planning agents produce for a query against one registry generation
-// and environment. Entries are shared across runs and must be treated
-// as immutable — the pipeline only ever reads these artifacts after
-// the planning stages complete.
+// and environment, plus the plan compiled from it. Entries are shared
+// across runs and must be treated as immutable — the pipeline only
+// ever reads these artifacts after the planning stages complete.
 type planEntry struct {
+	query    string // original query text (snapshot replay re-plans it)
 	spec     nlq.Spec
 	problem  *querymind.ProblemSpec
 	design   *workflowscout.Design
 	solution *solutionweaver.Solution
+	// compiled is the workflow lowered against the registry generation
+	// this entry is keyed by; nil when compilation failed and runs
+	// should take the interpreted path.
+	compiled *workflow.CompiledPlan
 }
 
-// planKey builds the plan-cache key. The registry generation makes a
-// curation promotion invalidate every previously cached plan: the
-// generation is read before planning starts, so a plan computed
-// against the pre-promotion catalog is only ever served to callers
-// that also observed the pre-promotion generation. Whitespace is the
-// only normalization applied to the query — anything stronger risks
-// conflating queries the parser distinguishes.
-func planKey(query string, gen uint64, envFP string) string {
-	return strings.Join(strings.Fields(query), " ") + "\x00" + strconv.FormatUint(gen, 10) + "\x00" + envFP
+// planKeyPool recycles the byte buffers plan keys are assembled in, so
+// a warm Ask's cache probe allocates nothing.
+var planKeyPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 160)
+	return &b
+}}
+
+// appendPlanKey builds the plan-cache key into b. The registry
+// generation makes a curation promotion invalidate every previously
+// cached plan: the generation is read before planning starts, so a
+// plan computed against the pre-promotion catalog is only ever served
+// to callers that also observed the pre-promotion generation.
+// Collapsing ASCII whitespace runs is the only normalization applied
+// to the query — anything stronger risks conflating queries the
+// parser distinguishes (and under-normalizing merely costs a
+// duplicate cache entry, never a wrong hit).
+func appendPlanKey(b []byte, query string, gen uint64, envFP string) []byte {
+	pendingSpace := false
+	for i := 0; i < len(query); i++ {
+		c := query[i]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f' {
+			pendingSpace = len(b) > 0
+			continue
+		}
+		if pendingSpace {
+			b = append(b, ' ')
+			pendingSpace = false
+		}
+		b = append(b, c)
+	}
+	b = append(b, 0)
+	b = strconv.AppendUint(b, gen, 10)
+	b = append(b, 0)
+	b = append(b, envFP...)
+	return b
+}
+
+// bytesKey views b as a string without copying. Only for transient
+// map probes (lruCache.Get does not retain its key); the caller must
+// not let the string outlive b's contents.
+func bytesKey(b []byte) string {
+	return unsafe.String(unsafe.SliceData(b), len(b))
 }
 
 // plan runs (or replays) the three planning stages — QueryMind,
@@ -508,13 +641,36 @@ func planKey(query string, gen uint64, envFP string) string {
 // events either way, so observers and expert review behave identically
 // on hits and misses; cached replays mark their StageCompleted events
 // Cached. A veto or failure surfaces as a *PipelineError at the
-// corresponding stage.
-func (s *System) plan(ctx context.Context, query string, cfg askConfig, em *emitter, rep *Report) (*solutionweaver.Solution, error) {
+// corresponding stage. Alongside the solution it returns the compiled
+// plan when one exists (cache-enabled calls whose workflow compiled).
+func (s *System) plan(ctx context.Context, query string, cfg askConfig, em *emitter, rep *Report) (*solutionweaver.Solution, *workflow.CompiledPlan, error) {
 	key := ""
 	if !cfg.noCache {
-		key = planKey(query, s.reg.Generation(), s.env.Fingerprint())
-		if v, ok := s.planCache.Get(key); ok {
+		// The key is assembled in a pooled buffer and probed through a
+		// no-copy string view; it is materialized as a real string only
+		// on a miss, for Put. A warm hit allocates nothing here.
+		kb := planKeyPool.Get().(*[]byte)
+		buf := appendPlanKey((*kb)[:0], query, s.reg.Generation(), s.env.Fingerprint())
+		v, ok := s.planCache.Get(bytesKey(buf))
+		if !ok {
+			key = string(buf)
+		}
+		*kb = buf[:0]
+		planKeyPool.Put(kb)
+		if ok {
 			pe := v.(*planEntry)
+			if !em.active() {
+				// No observers, no sink: fill the report wholesale. The
+				// per-stage replay below exists only to give observers
+				// the same event sequence a fresh run produces.
+				if err := ctx.Err(); err != nil {
+					return nil, nil, pipelineErr(StageProblem, query, err)
+				}
+				rep.Spec, rep.Problem = pe.spec, pe.problem
+				rep.Design = pe.design
+				rep.Solution = pe.solution
+				return pe.solution, pe.compiled, nil
+			}
 			// Fill rep stage by stage, just before each StageCompleted,
 			// so a veto or cancellation mid-replay leaves the same
 			// partial Report shape a fresh run would have left.
@@ -528,26 +684,26 @@ func (s *System) plan(ctx context.Context, query string, cfg askConfig, em *emit
 				{StageSolution, pe.solution, func() { rep.Solution = pe.solution }},
 			} {
 				if err := ctx.Err(); err != nil {
-					return nil, pipelineErr(st.stage, query, err)
+					return nil, nil, pipelineErr(st.stage, query, err)
 				}
 				if err := em.emit(&StageStarted{Stage: st.stage}); err != nil {
-					return nil, pipelineErr(st.stage, query, err)
+					return nil, nil, pipelineErr(st.stage, query, err)
 				}
 				st.fill()
 				if err := em.emit(&StageCompleted{Stage: st.stage, Artifact: st.artifact, Cached: true}); err != nil {
-					return nil, pipelineErr(st.stage, query, err)
+					return nil, nil, pipelineErr(st.stage, query, err)
 				}
 			}
-			return pe.solution, nil
+			return pe.solution, pe.compiled, nil
 		}
 	}
 
 	// Language analysis + problem decomposition (QueryMind).
 	if err := ctx.Err(); err != nil {
-		return nil, pipelineErr(StageProblem, query, err)
+		return nil, nil, pipelineErr(StageProblem, query, err)
 	}
 	if err := em.emit(&StageStarted{Stage: StageProblem}); err != nil {
-		return nil, pipelineErr(StageProblem, query, err)
+		return nil, nil, pipelineErr(StageProblem, query, err)
 	}
 	rep.Spec = nlq.Parse(query, s.env.Catalog)
 	data := s.env.Data()
@@ -559,52 +715,62 @@ func (s *System) plan(ctx context.Context, query string, cfg askConfig, em *emit
 		WindowDays:       data.WindowDays,
 	})
 	if err != nil {
-		return nil, pipelineErr(StageProblem, query, err)
+		return nil, nil, pipelineErr(StageProblem, query, err)
 	}
 	rep.Problem = problem
 	if err := em.emit(&StageCompleted{Stage: StageProblem, Artifact: problem}); err != nil {
-		return nil, pipelineErr(StageProblem, query, err)
+		return nil, nil, pipelineErr(StageProblem, query, err)
 	}
 
 	// Solution space exploration (WorkflowScout).
 	if err := ctx.Err(); err != nil {
-		return nil, pipelineErr(StageDesign, query, err)
+		return nil, nil, pipelineErr(StageDesign, query, err)
 	}
 	if err := em.emit(&StageStarted{Stage: StageDesign}); err != nil {
-		return nil, pipelineErr(StageDesign, query, err)
+		return nil, nil, pipelineErr(StageDesign, query, err)
 	}
 	design, err := s.scout.Design(problem, s.reg)
 	if err != nil {
-		return nil, pipelineErr(StageDesign, query, err)
+		return nil, nil, pipelineErr(StageDesign, query, err)
 	}
 	rep.Design = design
 	if err := em.emit(&StageCompleted{Stage: StageDesign, Artifact: design}); err != nil {
-		return nil, pipelineErr(StageDesign, query, err)
+		return nil, nil, pipelineErr(StageDesign, query, err)
 	}
 
 	// Implementation (SolutionWeaver).
 	if err := ctx.Err(); err != nil {
-		return nil, pipelineErr(StageSolution, query, err)
+		return nil, nil, pipelineErr(StageSolution, query, err)
 	}
 	if err := em.emit(&StageStarted{Stage: StageSolution}); err != nil {
-		return nil, pipelineErr(StageSolution, query, err)
+		return nil, nil, pipelineErr(StageSolution, query, err)
 	}
 	solution, err := s.weaver.Weave(design.Chosen, s.reg)
 	if err != nil {
-		return nil, pipelineErr(StageSolution, query, err)
+		return nil, nil, pipelineErr(StageSolution, query, err)
 	}
 	rep.Solution = solution
 	if err := em.emit(&StageCompleted{Stage: StageSolution, Artifact: solution}); err != nil {
-		return nil, pipelineErr(StageSolution, query, err)
+		return nil, nil, pipelineErr(StageSolution, query, err)
 	}
 
+	var compiled *workflow.CompiledPlan
 	if key != "" {
-		pe := &planEntry{spec: rep.Spec, problem: problem, design: design, solution: solution}
+		// Lower the fresh plan while it enters the cache: compilation
+		// shares the plan's invalidation exactly (the key carries the
+		// registry generation and environment fingerprint it resolved
+		// against). A workflow that fails to compile caches with a nil
+		// artifact and keeps taking the interpreted path.
+		compiled, _ = workflow.Compile(solution.Workflow, s.reg)
+		pe := &planEntry{
+			query: query, spec: rep.Spec, problem: problem,
+			design: design, solution: solution, compiled: compiled,
+		}
 		// Plans are metadata-sized; charge a token amount so a byte
 		// bound, if ever set, stays meaningful.
 		s.planCache.Put(key, pe, int64(len(query))+int64(len(solution.Code))+512)
 	}
-	return solution, nil
+	return solution, compiled, nil
 }
 
 // AskBatch serves many queries from one System, fanning out over a

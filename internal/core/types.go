@@ -145,6 +145,11 @@ type Environment struct {
 	fpID    atomic.Uint64
 	fpEpoch atomic.Uint64
 
+	// fpStrs memoizes the rendered fingerprint strings for the current
+	// (fpID, fpEpoch) so warm Asks never re-render them. See
+	// fpStringsNow.
+	fpStrs atomic.Pointer[fpCached]
+
 	// watchMu guards watchers, the change-notification seam standing
 	// queries (System.Subscribe) register with; every mutation pokes
 	// them. See Watch.

@@ -51,18 +51,22 @@ import (
 // Scatter describes how one capability's steps scatter over shards
 // and gather back.
 type Scatter struct {
-	// Split partitions the step input by owning shard. Returning
-	// ok=false declines the step (inputs missing, unpartitionable, or
-	// containing data no shard owns); the decline condition must not
-	// depend on the shard count, or differently-sized fleets would
-	// diverge. An empty part map also declines.
-	Split func(p *netsim.Partition, in map[string]any) (parts map[int]map[string]any, ok bool)
+	// Split partitions the step input by owning shard. It also receives
+	// the execution environment (opaque to this package), so
+	// environment-reading capabilities — e.g. ones whose fan-out data
+	// lives in the injected scenario rather than in a bound input — can
+	// scatter too. Returning ok=false declines the step (inputs
+	// missing, unpartitionable, or containing data no shard owns); the
+	// decline condition must not depend on the shard count, or
+	// differently-sized fleets would diverge. An empty part map also
+	// declines.
+	Split func(p *netsim.Partition, env any, in map[string]any) (parts map[int]map[string]any, ok bool)
 	// Merge gathers per-shard outputs into the step's final output
-	// map. It receives the partition and the original input map so
-	// order-sensitive capabilities can reconstruct input order. The
-	// merged result must be identical to what the capability produces
-	// unsharded.
-	Merge func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error)
+	// map. It receives the partition, the environment, and the original
+	// input map so order-sensitive capabilities can reconstruct input
+	// (or environment) order. The merged result must be identical to
+	// what the capability produces unsharded.
+	Merge func(p *netsim.Partition, env any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error)
 }
 
 // Config sizes a Fleet.
@@ -151,7 +155,7 @@ func (f *Fleet) DispatchStep(ctx context.Context, capb *registry.Capability, in 
 		f.declined.Add(1)
 		return nil, false, nil
 	}
-	parts, ok := spec.Split(f.part, in)
+	parts, ok := spec.Split(f.part, env, in)
 	if !ok || len(parts) == 0 {
 		f.declined.Add(1)
 		return nil, false, nil
@@ -200,7 +204,7 @@ func (f *Fleet) DispatchStep(ctx context.Context, capb *registry.Capability, in 
 		return nil, true, firstErr
 	}
 
-	merged, err := spec.Merge(f.part, in, outs)
+	merged, err := spec.Merge(f.part, env, in, outs)
 	if err != nil {
 		return nil, true, fmt.Errorf("fleet: gather %s: %w", capb.Name, err)
 	}

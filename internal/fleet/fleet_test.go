@@ -43,7 +43,7 @@ func countLinksCap(w *netsim.World) *registry.Capability {
 // and unions the code sets, sorted.
 func countLinksScatter() Scatter {
 	return Scatter{
-		Split: func(p *netsim.Partition, in map[string]any) (map[int]map[string]any, bool) {
+		Split: func(p *netsim.Partition, _ any, in map[string]any) (map[int]map[string]any, bool) {
 			links, ok := in["links"].([]netsim.LinkID)
 			if !ok {
 				return nil, false
@@ -63,7 +63,7 @@ func countLinksScatter() Scatter {
 			}
 			return parts, true
 		},
-		Merge: func(p *netsim.Partition, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
+		Merge: func(p *netsim.Partition, _ any, orig map[string]any, parts map[int]map[string]any) (map[string]any, error) {
 			n := 0
 			codes := map[string]bool{}
 			for _, out := range parts {

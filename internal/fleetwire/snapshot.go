@@ -1,0 +1,40 @@
+package fleetwire
+
+import (
+	"encoding/json"
+
+	"arachnet/internal/core"
+)
+
+// Snapshot codec injection: core's cache snapshots
+// (System.SaveSnapshot / LoadSnapshot) persist step outputs with this
+// package's tagged value envelopes — the same closed tag↔type registry
+// the worker wire uses, so exactly the values that can cross the fleet
+// wire can cross a process restart. core cannot import fleetwire
+// (fleetwire imports core for the catalog port types), so the codec is
+// handed over through core.SetSnapshotValueCodec at init. Every
+// arachnet binary and the facade link this package, so the seam is
+// populated everywhere snapshots are reachable.
+func init() {
+	core.SetSnapshotValueCodec(EncodeOutputs, DecodeOutputs)
+}
+
+// EncodeOutputs renders a step-output map as JSON of tagged value
+// envelopes. It fails — rather than guessing — on values outside the
+// codec's closed type registry.
+func EncodeOutputs(m map[string]any) (json.RawMessage, error) {
+	wm, err := encodeMap(m)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(wm)
+}
+
+// DecodeOutputs is the inverse of EncodeOutputs.
+func DecodeOutputs(raw json.RawMessage) (map[string]any, error) {
+	var wm map[string]wireValue
+	if err := json.Unmarshal(raw, &wm); err != nil {
+		return nil, err
+	}
+	return decodeMap(wm)
+}

@@ -388,6 +388,15 @@ func (r *Registry) Frameworks() []string {
 // Subset returns a new registry holding only the named capabilities.
 // Unknown names are reported as an error. Used by evaluation setups
 // that restrict the agent to "core Nautilus functions only".
+//
+// The subset shares the source's *Capability pointers rather than
+// copying the structs: capabilities are immutable once registered, so
+// a handle resolved from the parent, a Clone, or a Subset is the same
+// pointer — which is what lets compiled plans hold capability pointers
+// across registry views. Entries were validated when first registered,
+// so only name resolution and duplicate screening happen here. Like
+// any freshly built registry, the subset's generation counts its own
+// registrations (len(names)).
 func (r *Registry) Subset(names ...string) (*Registry, error) {
 	sub := New()
 	for _, n := range names {
@@ -395,24 +404,29 @@ func (r *Registry) Subset(names ...string) (*Registry, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Register(*c); err != nil {
-			return nil, err
+		if _, dup := sub.caps[c.Name]; dup {
+			return nil, fmt.Errorf("registry: capability %q already registered", c.Name)
 		}
+		sub.caps[c.Name] = c
+		sub.gen++
 	}
 	return sub, nil
 }
 
-// Clone returns a deep copy of the registry (capabilities are copied;
-// implementations are shared function values). The clone inherits the
-// source's generation: its contents are identical, so caches keyed on
-// (catalog, generation) remain coherent across the copy.
+// Clone returns an independent registry with the same contents.
+// Capabilities are immutable once registered, so the clone shares the
+// source's *Capability pointers (implementations were always shared
+// function values); future Registers on either side stay local to it.
+// The clone inherits the source's generation: its contents are
+// identical, so caches keyed on (catalog, generation) remain coherent
+// across the copy, and compiled plans resolved against the source hold
+// pointers that are valid verbatim in the clone.
 func (r *Registry) Clone() *Registry {
 	out := New()
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	for _, c := range r.caps {
-		cc := *c
-		out.caps[cc.Name] = &cc
+		out.caps[c.Name] = c
 	}
 	out.gen = r.gen
 	return out
